@@ -1,0 +1,75 @@
+// tez-bench regenerates the paper's evaluation (Figures 8–13) and the
+// ablation suite on the simulated cluster and prints the tables/series.
+//
+//	go run ./cmd/tez-bench                 # everything, small scale
+//	go run ./cmd/tez-bench -scale full     # closer to paper parameters
+//	go run ./cmd/tez-bench -exp f8,f11     # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"tez/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small | full")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,ablations")
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scaleFlag {
+	case "small":
+		sc = bench.Small
+	case "full":
+		sc = bench.Full
+	default:
+		log.Fatalf("unknown scale %q", *scaleFlag)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+
+	type experiment struct {
+		key string
+		run func(bench.Scale) (*bench.Report, error)
+	}
+	experiments := []experiment{
+		{"f8", bench.HiveTPCDS},
+		{"f9", bench.HiveTPCH},
+		{"f10", bench.PigProduction},
+		{"f11", bench.KMeansIterations},
+		{"f12", bench.SparkTimelines},
+		{"f13", bench.SparkLatency},
+	}
+	start := time.Now()
+	for _, e := range experiments {
+		if !all && !want[e.key] {
+			continue
+		}
+		t0 := time.Now()
+		rep, err := e.run(sc)
+		if err != nil {
+			log.Fatalf("%s: %v", e.key, err)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s took %v)\n\n", e.key, time.Since(t0).Round(time.Millisecond))
+	}
+	if all || want["ablations"] {
+		reps, err := bench.Ablations(sc)
+		if err != nil {
+			log.Fatalf("ablations: %v", err)
+		}
+		for _, r := range reps {
+			fmt.Println(r)
+		}
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,65 @@
+// kmeans_session: the iterative K-means workload of Figure 11. Every
+// iteration is a fresh 2-vertex DAG; submitted to one shared, pre-warmed
+// Tez session the iterations reuse containers (and skip AM start-up),
+// against a baseline that pays a fresh AM per iteration.
+//
+//	go run ./examples/kmeans_session
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tez/internal/am"
+	"tez/internal/data"
+	"tez/internal/platform"
+	"tez/internal/sparklike"
+)
+
+func main() {
+	plat := platform.New(platform.Default(4))
+	defer plat.Stop()
+
+	const points, iters = 4000, 10
+	fmt.Printf("generating %d points around 3 centres…\n", points)
+	tbl, truth, err := data.GenPoints(plat.FS, "points", points, 3, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	initial := make([][2]float64, len(truth))
+	for i, c := range truth {
+		initial[i] = [2]float64{c[0] + 5, c[1] - 5}
+	}
+
+	start := time.Now()
+	if _, err := sparklike.RunKMeansIsolated(plat, am.Config{Name: "km-iso"},
+		tbl, initial, iters, "/scratch/iso"); err != nil {
+		log.Fatal(err)
+	}
+	isoDur := time.Since(start)
+	fmt.Printf("%d iterations, one AM per iteration:   %v\n", iters, isoDur.Round(time.Millisecond))
+
+	sess := am.NewSession(plat, am.Config{
+		Name:                 "km-session",
+		PrewarmContainers:    2,
+		ContainerIdleRelease: 500 * time.Millisecond,
+	})
+	defer sess.Close()
+	start = time.Now()
+	centroids, err := sparklike.RunKMeans(sess, plat, tbl, initial, iters, "/scratch/sess")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sessDur := time.Since(start)
+	fmt.Printf("%d iterations, shared pre-warmed session: %v\n", iters, sessDur.Round(time.Millisecond))
+	fmt.Printf("speedup from session + container reuse:  %.2fx\n\n", float64(isoDur)/float64(sessDur))
+
+	alloc, reused := sess.SchedulerStats()
+	fmt.Printf("session scheduler: %d containers allocated, %d task assignments reused one\n\n", alloc, reused)
+
+	fmt.Println("final centroids (true centres in parentheses):")
+	for i, c := range centroids {
+		fmt.Printf("  (%7.2f, %7.2f)   (%7.2f, %7.2f)\n", c[0], c[1], truth[i][0], truth[i][1])
+	}
+}

@@ -1,0 +1,3 @@
+module tez
+
+go 1.22

@@ -1,0 +1,479 @@
+package am
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tez/internal/cluster"
+	"tez/internal/dag"
+	"tez/internal/event"
+	"tez/internal/library"
+	"tez/internal/platform"
+	"tez/internal/plugin"
+	"tez/internal/runtime"
+	"tez/internal/shuffle"
+)
+
+// slowOnFirstAttempt simulates an environment-induced straggler: task 0's
+// first attempt hangs (until killed), any other attempt is fast.
+type slowOnFirstAttempt struct{ ctx *runtime.Context }
+
+func (p *slowOnFirstAttempt) Initialize(ctx *runtime.Context) error { p.ctx = ctx; return nil }
+func (p *slowOnFirstAttempt) Run(_ map[string]runtime.Input, out map[string]runtime.Output) error {
+	if p.ctx.Meta.Task == 0 && p.ctx.Meta.Attempt == 0 {
+		select {
+		case <-p.ctx.Stop:
+			return nil
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("straggler was never mitigated")
+		}
+	}
+	w, err := out["sink"].Writer()
+	if err != nil {
+		return err
+	}
+	return w.(runtime.KVWriter).Write([]byte(fmt.Sprintf("t%d", p.ctx.Meta.Task)), []byte("ok"))
+}
+func (p *slowOnFirstAttempt) Close() error { return nil }
+
+func TestSpeculationMitigatesStraggler(t *testing.T) {
+	runtime.RegisterProcessor("amtest.straggler", func() runtime.Processor { return &slowOnFirstAttempt{} })
+	plat := newTestPlatform(4)
+	defer plat.Stop()
+	d := dag.New("spec")
+	v := d.AddVertex("v", plugin.Desc("amtest.straggler", nil), 6)
+	v.Sinks = []dag.DataSink{{
+		Name:      "sink",
+		Output:    plugin.Desc(library.DFSSinkOutputName, library.DFSSinkConfig{Path: "/out/spec"}),
+		Committer: plugin.Desc(library.DFSCommitterName, library.DFSSinkConfig{Path: "/out/spec"}),
+	}}
+	cfg := Config{
+		Name:                    "t",
+		Speculation:             true,
+		SpeculationInterval:     2 * time.Millisecond,
+		SpeculationFactor:       3,
+		SpeculationMinCompleted: 3,
+	}
+	start := time.Now()
+	res, err := RunDAG(plat, cfg, d)
+	if err != nil || res.Status != DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("speculation did not rescue the straggler in time")
+	}
+	if res.Counters.Get("SPECULATIVE_ATTEMPTS") == 0 {
+		t.Fatal("no speculative attempt launched")
+	}
+	spec := 0
+	for _, rec := range res.Trace.Records() {
+		if rec.Speculative && rec.Outcome == "SUCCEEDED" {
+			spec++
+		}
+	}
+	if spec == 0 {
+		t.Fatal("speculative attempt did not win")
+	}
+}
+
+// vmEventGated schedules its vertex only after a VertexManagerEvent
+// arrives — used to force out-of-order scheduling inversions.
+type vmEventGated struct{ ctx VertexManagerContext }
+
+func (m *vmEventGated) Initialize(ctx VertexManagerContext) error { m.ctx = ctx; return nil }
+func (m *vmEventGated) OnVertexStarted()                          {}
+func (m *vmEventGated) OnSourceTaskCompleted(string, int)         {}
+func (m *vmEventGated) OnVertexManagerEvent(event.VertexManagerEvent) {
+	p := m.ctx.Parallelism()
+	ids := make([]int, p)
+	for i := range ids {
+		ids[i] = i
+	}
+	m.ctx.ScheduleTasks(ids)
+}
+
+// pokeThenRead emits a VMEvent to the producer vertex, then blocks reading
+// its (not yet produced) input — occupying the only container.
+type pokeThenRead struct{ ctx *runtime.Context }
+
+func (p *pokeThenRead) Initialize(ctx *runtime.Context) error { p.ctx = ctx; return nil }
+func (p *pokeThenRead) Run(in map[string]runtime.Input, out map[string]runtime.Output) error {
+	p.ctx.Emit(event.VertexManagerEvent{TargetVertex: "producer", SrcVertex: p.ctx.Meta.Vertex})
+	r, err := in["producer"].Reader() // blocks until data or kill
+	if err != nil {
+		return err
+	}
+	g := r.(runtime.GroupedKVReader)
+	w, err := out["sink"].Writer()
+	if err != nil {
+		return err
+	}
+	kw := w.(runtime.KVWriter)
+	for g.Next() {
+		if err := kw.Write(g.Key(), []byte(strconv.Itoa(len(g.Values())))); err != nil {
+			return err
+		}
+	}
+	return g.Err()
+}
+func (p *pokeThenRead) Close() error { return nil }
+
+func TestDeadlockPreemptionResolvesInversion(t *testing.T) {
+	RegisterVertexManager("amtest.gated", func() VertexManager { return &vmEventGated{} })
+	runtime.RegisterProcessor("amtest.poke_read", func() runtime.Processor { return &pokeThenRead{} })
+	runtime.RegisterProcessor("amtest.emit2", func() runtime.Processor { return &emitProducer{} })
+
+	// One node, one slot: the consumer grabs it first (the producer is
+	// gated until the consumer pokes it) — a genuine scheduling deadlock.
+	cfg := platform.Fast(1)
+	cfg.Cluster.NodeResource = cluster.Resource{MemoryMB: 1024, VCores: 1}
+	plat := platform.New(cfg)
+	defer plat.Stop()
+
+	d := dag.New("deadlock")
+	prod := d.AddVertex("producer", plugin.Desc("amtest.emit2", nil), 1)
+	prod.Manager = plugin.Desc("amtest.gated", nil)
+	cons := d.AddVertex("consumer", plugin.Desc("amtest.poke_read", nil), 1)
+	cons.Manager = plugin.Desc(ImmediateStartVertexManagerName, nil)
+	cons.Sinks = []dag.DataSink{{
+		Name:      "sink",
+		Output:    plugin.Desc(library.DFSSinkOutputName, library.DFSSinkConfig{Path: "/out/dl"}),
+		Committer: plugin.Desc(library.DFSCommitterName, library.DFSSinkConfig{Path: "/out/dl"}),
+	}}
+	d.Connect(prod, cons, dag.EdgeProperty{
+		Movement: dag.ScatterGather,
+		Output:   plugin.Desc(library.OrderedPartitionedOutputName, nil),
+		Input:    plugin.Desc(library.OrderedGroupedInputName, nil),
+	})
+	amCfg := Config{
+		Name:                  "t",
+		DeadlockCheckInterval: 2 * time.Millisecond,
+		DeadlockWait:          20 * time.Millisecond,
+	}
+	done := make(chan struct{})
+	var res DAGResult
+	var err error
+	go func() {
+		res, err = RunDAG(plat, amCfg, d)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock was never resolved")
+	}
+	if err != nil || res.Status != DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	if res.Counters.Get("DEADLOCK_PREEMPTIONS") == 0 {
+		t.Fatal("no deadlock preemption recorded")
+	}
+	counts := readCounts(t, plat, "/out/dl")
+	if counts["k"] != 1 {
+		t.Fatalf("output = %v", counts)
+	}
+}
+
+// slowEmit produces a pair, then (consumer side) a reader that takes long
+// enough for the test to kill a node under it.
+type slowReduce struct {
+	ctx   *runtime.Context
+	delay time.Duration
+}
+
+func (p *slowReduce) Initialize(ctx *runtime.Context) error {
+	p.ctx = ctx
+	p.delay = 150 * time.Millisecond
+	return nil
+}
+
+func (p *slowReduce) Run(in map[string]runtime.Input, out map[string]runtime.Output) error {
+	select {
+	case <-time.After(p.delay):
+	case <-p.ctx.Stop:
+		return nil
+	}
+	r, err := in["producer"].Reader()
+	if err != nil {
+		return err
+	}
+	g := r.(runtime.GroupedKVReader)
+	w, err := out["sink"].Writer()
+	if err != nil {
+		return err
+	}
+	kw := w.(runtime.KVWriter)
+	for g.Next() {
+		if err := kw.Write(g.Key(), []byte(strconv.Itoa(len(g.Values())))); err != nil {
+			return err
+		}
+	}
+	return g.Err()
+}
+func (p *slowReduce) Close() error { return nil }
+
+func TestNodeFailureProactiveReexecution(t *testing.T) {
+	runtime.RegisterProcessor("amtest.emit3", func() runtime.Processor { return &emitProducer{} })
+	runtime.RegisterProcessor("amtest.slowreduce", func() runtime.Processor { return &slowReduce{} })
+	plat := newTestPlatform(4)
+	defer plat.Stop()
+
+	d := dag.New("nodeloss")
+	prod := d.AddVertex("producer", plugin.Desc("amtest.emit3", nil), 2)
+	cons := d.AddVertex("consumer", plugin.Desc("amtest.slowreduce", nil), 1)
+	cons.Sinks = []dag.DataSink{{
+		Name:      "sink",
+		Output:    plugin.Desc(library.DFSSinkOutputName, library.DFSSinkConfig{Path: "/out/nl"}),
+		Committer: plugin.Desc(library.DFSCommitterName, library.DFSSinkConfig{Path: "/out/nl"}),
+	}}
+	d.Connect(prod, cons, dag.EdgeProperty{
+		Movement: dag.ScatterGather,
+		Output:   plugin.Desc(library.OrderedPartitionedOutputName, nil),
+		Input:    plugin.Desc(library.OrderedGroupedInputName, nil),
+	})
+
+	s := NewSession(plat, Config{Name: "t"})
+	defer s.Close()
+	h, err := s.Submit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until a producer output is registered, then kill its node.
+	var victim string
+	deadline := time.Now().Add(5 * time.Second)
+	for victim == "" && time.Now().Before(deadline) {
+		for task := 0; task < 2; task++ {
+			id := shuffle.OutputID{DAG: h.ID(), Vertex: "producer", Name: "consumer", Task: task, Attempt: 0}
+			if node, ok := plat.Shuffle.Node(id); ok {
+				victim = node
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if victim == "" {
+		t.Fatal("producer output never appeared")
+	}
+	plat.FailNode(cluster.NodeID(victim))
+
+	res := h.Wait()
+	if res.Err != nil || res.Status != DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, res.Err)
+	}
+	if res.Counters.Get("TASKS_REEXECUTED") == 0 {
+		t.Fatal("no proactive re-execution after node loss")
+	}
+	counts := readCounts(t, plat, "/out/nl")
+	if counts["k"] != 2 {
+		t.Fatalf("output = %v", counts)
+	}
+}
+
+// failUntilEnabled fails until the package flag is flipped — simulates a
+// transient environmental fault fixed before AM recovery.
+var recoveryEnabled atomic.Bool
+
+type failUntilEnabled struct{ ctx *runtime.Context }
+
+func (p *failUntilEnabled) Initialize(ctx *runtime.Context) error { p.ctx = ctx; return nil }
+func (p *failUntilEnabled) Run(in map[string]runtime.Input, out map[string]runtime.Output) error {
+	if !recoveryEnabled.Load() {
+		return fmt.Errorf("environment down")
+	}
+	r, err := in["stage1"].Reader()
+	if err != nil {
+		return err
+	}
+	g := r.(runtime.GroupedKVReader)
+	w, err := out["sink"].Writer()
+	if err != nil {
+		return err
+	}
+	kw := w.(runtime.KVWriter)
+	for g.Next() {
+		if err := kw.Write(g.Key(), []byte(strconv.Itoa(len(g.Values())))); err != nil {
+			return err
+		}
+	}
+	return g.Err()
+}
+func (p *failUntilEnabled) Close() error { return nil }
+
+func TestAMRecoveryFromCheckpoint(t *testing.T) {
+	runtime.RegisterProcessor("amtest.emit4", func() runtime.Processor { return &emitProducer{} })
+	runtime.RegisterProcessor("amtest.failgate", func() runtime.Processor { return &failUntilEnabled{} })
+	recoveryEnabled.Store(false)
+	plat := newTestPlatform(3)
+	defer plat.Stop()
+
+	build := func() *dag.DAG {
+		d := dag.New("recover-me")
+		prod := d.AddVertex("stage1", plugin.Desc("amtest.emit4", nil), 2)
+		cons := d.AddVertex("stage2", plugin.Desc("amtest.failgate", nil), 1)
+		cons.Sinks = []dag.DataSink{{
+			Name:      "sink",
+			Output:    plugin.Desc(library.DFSSinkOutputName, library.DFSSinkConfig{Path: "/out/rec"}),
+			Committer: plugin.Desc(library.DFSCommitterName, library.DFSSinkConfig{Path: "/out/rec"}),
+		}}
+		// stage1's output must survive the first AM: emitProducer writes
+		// to the edge named "consumer"; rename target vertex accordingly.
+		d.Connect(prod, cons, dag.EdgeProperty{
+			Movement: dag.ScatterGather,
+			Output:   plugin.Desc(library.OrderedPartitionedOutputName, nil),
+			Input:    plugin.Desc(library.OrderedGroupedInputName, nil),
+		})
+		return d
+	}
+	cfg := Config{Name: "am1", CheckpointPath: "/_cp", MaxTaskAttempts: 1}
+
+	// First AM: stage1 succeeds, stage2 fails → DAG failed, checkpoint has
+	// stage1 complete.
+	s1 := NewSession(plat, cfg)
+	res, err := s1.Run(build())
+	s1.Close()
+	if err == nil || res.Status != DAGFailed {
+		t.Fatalf("first run: %v %v", res.Status, err)
+	}
+
+	// Second AM ("restarted on another node"): recovers stage1, re-runs
+	// only stage2.
+	recoveryEnabled.Store(true)
+	cfg.Name = "am2"
+	s2 := NewSession(plat, cfg)
+	defer s2.Close()
+	h, err := s2.Recover(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := h.Wait()
+	if res2.Err != nil || res2.Status != DAGSucceeded {
+		t.Fatalf("recovered run: %v %v", res2.Status, res2.Err)
+	}
+	if res2.Counters.Get("VERTICES_RECOVERED") != 1 {
+		t.Fatalf("VERTICES_RECOVERED = %d", res2.Counters.Get("VERTICES_RECOVERED"))
+	}
+	// stage1 must NOT have re-run.
+	if res2.Counters.Get("TASKS_SUCCEEDED") != 1 {
+		t.Fatalf("recovered run executed %d tasks, want 1", res2.Counters.Get("TASKS_SUCCEEDED"))
+	}
+	counts := readCounts(t, plat, "/out/rec")
+	if counts["k"] != 2 {
+		t.Fatalf("output = %v", counts)
+	}
+}
+
+func TestPrewarmedSessionHasIdleContainers(t *testing.T) {
+	plat := newTestPlatform(4)
+	defer plat.Stop()
+	s := NewSession(plat, Config{
+		Name:                 "warm",
+		PrewarmContainers:    3,
+		ContainerIdleRelease: time.Second,
+	})
+	defer s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.app.HeldContainers() >= 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.app.HeldContainers(); got < 3 {
+		t.Fatalf("prewarmed containers = %d", got)
+	}
+	allocated, _ := s.SchedulerStats()
+	if allocated < 3 {
+		t.Fatalf("allocated = %d", allocated)
+	}
+	// A DAG submitted now should reuse the warm containers.
+	writeLines(t, plat, "/in/warm", []string{"a b a"})
+	d := wordCountDAG("wc", "/in/warm", "/out/warm", 1)
+	if res, err := s.Run(d); err != nil || res.Status != DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	_, reused := s.SchedulerStats()
+	if reused == 0 {
+		t.Fatal("prewarmed containers were not reused")
+	}
+}
+
+func TestKillDAG(t *testing.T) {
+	runtime.RegisterProcessor("amtest.emit", func() runtime.Processor { return &emitProducer{} })
+	runtime.RegisterProcessor("amtest.sleepy", func() runtime.Processor { return &slowReduce{} })
+	plat := newTestPlatform(2)
+	defer plat.Stop()
+	d := dag.New("killme")
+	prod := d.AddVertex("producer", plugin.Desc("amtest.emit", nil), 1)
+	cons := d.AddVertex("consumer", plugin.Desc("amtest.sleepy", nil), 1)
+	d.Connect(prod, cons, dag.EdgeProperty{
+		Movement: dag.ScatterGather,
+		Output:   plugin.Desc(library.OrderedPartitionedOutputName, nil),
+		Input:    plugin.Desc(library.OrderedGroupedInputName, nil),
+	})
+	s := NewSession(plat, Config{Name: "t"})
+	defer s.Close()
+	h, err := s.Submit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	h.Kill("test")
+	res := h.Wait()
+	if res.Status != DAGKilled {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// All resources must be returned eventually.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && s.app.HeldContainers() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTransientShuffleErrorsAreAbsorbed runs a DAG on a network that
+// randomly fails fetches: the built-in inputs retry with backoff (§4.3)
+// and the DAG still completes correctly.
+func TestTransientShuffleErrorsAreAbsorbed(t *testing.T) {
+	cfg := platform.Fast(4)
+	cfg.Shuffle.TransientErrorRate = 0.3
+	cfg.Shuffle.Seed = 99
+	plat := platform.New(cfg)
+	defer plat.Stop()
+	writeLines(t, plat, "/in/flaky-net", []string{"x y x z y x"})
+	d := wordCountDAG("wc-net", "/in/flaky-net", "/out/net", 3)
+	res, err := RunDAG(plat, Config{Name: "t"}, d)
+	if err != nil || res.Status != DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	counts := readCounts(t, plat, "/out/net")
+	if counts["x"] != 3 || counts["y"] != 2 || counts["z"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// TestSessionSurvivesFailedDAG: one failing DAG must not poison the
+// session for subsequent DAGs (Figure 7's multi-DAG sessions).
+func TestSessionSurvivesFailedDAG(t *testing.T) {
+	runtime.RegisterProcessor("amtest.alwaysfail2", func() runtime.Processor { return alwaysFail{} })
+	plat := newTestPlatform(3)
+	defer plat.Stop()
+	s := NewSession(plat, Config{Name: "resilient", MaxTaskAttempts: 1})
+	defer s.Close()
+
+	bad := dag.New("bad")
+	bad.AddVertex("v", plugin.Desc("amtest.alwaysfail2", nil), 1)
+	if res, err := s.Run(bad); err == nil || res.Status != DAGFailed {
+		t.Fatalf("bad dag: %v %v", res.Status, err)
+	}
+
+	writeLines(t, plat, "/in/after", []string{"ok ok"})
+	good := wordCountDAG("wc-after", "/in/after", "/out/after", 1)
+	if res, err := s.Run(good); err != nil || res.Status != DAGSucceeded {
+		t.Fatalf("good dag after failure: %v %v", res.Status, err)
+	}
+	if readCounts(t, plat, "/out/after")["ok"] != 2 {
+		t.Fatal("wrong output")
+	}
+}

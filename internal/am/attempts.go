@@ -1,0 +1,417 @@
+package am
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tez/internal/cluster"
+	"tez/internal/dag"
+	"tez/internal/event"
+	"tez/internal/mailbox"
+	"tez/internal/metrics"
+	"tez/internal/runtime"
+)
+
+// scheduleTasks is the vertex-manager entry point: move the given pending
+// tasks to scheduled and create their first attempts.
+func (r *dagRun) scheduleTasks(vs *vertexState, ids []int) {
+	if r.finished || vs.state != vRunning {
+		return
+	}
+	for _, id := range ids {
+		if id < 0 || id >= len(vs.tasks) {
+			continue
+		}
+		ts := vs.tasks[id]
+		if ts.state != tPending {
+			continue
+		}
+		ts.state = tScheduled
+		r.newAttempt(ts, false)
+	}
+}
+
+// newAttempt creates an attempt and asks the scheduler for a container.
+func (r *dagRun) newAttempt(ts *taskState, speculative bool) *attemptState {
+	at := &attemptState{
+		task:        ts,
+		id:          len(ts.attempts),
+		state:       aWaiting,
+		speculative: speculative,
+	}
+	ts.attempts = append(ts.attempts, at)
+	req := &taskRequest{
+		priority: ts.vertex.priority,
+		hosts:    r.taskHosts(ts),
+		tag:      r,
+		assign: func(pc *pooledContainer) {
+			r.mb.Put(msgAssigned{at: at, pc: pc})
+		},
+	}
+	at.req = req
+	r.session.sched.submit(req)
+	r.counters.Add("ATTEMPTS_LAUNCHED", 1)
+	if speculative {
+		r.counters.Add("SPECULATIVE_ATTEMPTS", 1)
+	}
+	return at
+}
+
+// taskHosts computes locality preferences: initializer hints for root
+// tasks, the source attempt's node for 1-1 edges (§4.2).
+func (r *dagRun) taskHosts(ts *taskState) []cluster.NodeID {
+	vs := ts.vertex
+	if ts.idx < len(vs.locationHints) {
+		if hints := vs.locationHints[ts.idx]; len(hints) > 0 {
+			out := make([]cluster.NodeID, 0, len(hints))
+			for _, h := range hints {
+				out = append(out, cluster.NodeID(h))
+			}
+			return out
+		}
+	}
+	for _, es := range r.inEdges[vs.v.Name] {
+		if es.e.Property.Movement != dag.OneToOne {
+			continue
+		}
+		if ts.idx < len(es.from.tasks) {
+			src := es.from.tasks[ts.idx]
+			if w := src.winner; w != nil && w.node != "" {
+				return []cluster.NodeID{cluster.NodeID(w.node)}
+			}
+			if src.restored && src.restoredNode != "" {
+				return []cluster.NodeID{cluster.NodeID(src.restoredNode)}
+			}
+		}
+	}
+	return nil
+}
+
+// onAssigned launches the attempt in its container.
+func (r *dagRun) onAssigned(at *attemptState, pc *pooledContainer) {
+	if r.finished || at.state != aWaiting || at.task.state == tSucceeded {
+		// Stale assignment: the container is healthy; recycle it.
+		if at.state == aWaiting {
+			at.state = aKilled
+		}
+		r.session.sched.release(pc, true)
+		return
+	}
+	at.state = aRunning
+	at.pc = pc
+	at.node = string(pc.c.Node())
+	at.locality = pc.c.Locality
+	at.start = time.Now()
+	at.mbox = mailbox.New[event.Event]()
+	if at.task.state == tScheduled {
+		at.task.state = tRunning
+	}
+	r.counters.Add("LOCALITY_"+pc.c.Locality.String(), 1)
+
+	spec := r.buildTaskSpec(at)
+	services := runtime.Services{
+		FS:       r.session.plat.FS,
+		Shuffle:  r.session.plat.Shuffle,
+		Node:     at.node,
+		Registry: pc.registry,
+		Counters: r.counters,
+		Token:    r.token,
+	}
+	r.replayEvents(at)
+	go func() {
+		runner := &runtime.TaskRunner{
+			Spec:     spec,
+			Services: services,
+			Incoming: at.mbox,
+			Emit: func(ev event.Event) {
+				r.mb.Put(msgTaskEvent{at: at, ev: ev})
+			},
+		}
+		err := pc.c.Exec(func(stop <-chan struct{}) error { return runner.Run(stop) })
+		r.mb.Put(msgAttemptDone{at: at, err: err})
+	}()
+}
+
+// buildTaskSpec assembles the runner spec from the current (possibly
+// reconfigured) DAG geometry.
+func (r *dagRun) buildTaskSpec(at *attemptState) runtime.TaskSpec {
+	ts := at.task
+	vs := ts.vertex
+	spec := runtime.TaskSpec{
+		Meta: runtime.Meta{
+			DAG:               r.id,
+			Vertex:            vs.v.Name,
+			Task:              ts.idx,
+			Attempt:           at.id,
+			VertexParallelism: vs.parallelism,
+		},
+		Processor: vs.v.Processor,
+	}
+	for _, src := range vs.v.Sources {
+		spec.Inputs = append(spec.Inputs, runtime.IOSpec{
+			Name:          src.Name,
+			Descriptor:    src.Input,
+			PhysicalCount: 1,
+		})
+	}
+	for _, es := range r.inEdges[vs.v.Name] {
+		spec.Inputs = append(spec.Inputs, runtime.IOSpec{
+			Name:          es.e.From,
+			Descriptor:    es.e.Property.Input,
+			PhysicalCount: es.mgr.NumDestinationTaskPhysicalInputs(ts.idx),
+		})
+	}
+	for _, es := range r.outEdges[vs.v.Name] {
+		// Broadcast/one-to-one producers may run before the consumer is
+		// configured; their physical output count is always 1.
+		phys := 1
+		if es.mgr != nil {
+			phys = es.mgr.NumSourceTaskPhysicalOutputs(ts.idx)
+		}
+		spec.Outputs = append(spec.Outputs, runtime.IOSpec{
+			Name:          es.e.To,
+			Descriptor:    es.e.Property.Output,
+			PhysicalCount: phys,
+		})
+	}
+	for _, sink := range vs.v.Sinks {
+		spec.Outputs = append(spec.Outputs, runtime.IOSpec{
+			Name:          sink.Name,
+			Descriptor:    sink.Output,
+			PhysicalCount: 1,
+		})
+	}
+	return spec
+}
+
+// replayEvents delivers the task's root-input assignments and all stored
+// upstream DataMovements to a newly started attempt.
+func (r *dagRun) replayEvents(at *attemptState) {
+	ts := at.task
+	vs := ts.vertex
+	for src, payloads := range vs.rootPayloads {
+		if ts.idx < len(payloads) {
+			at.mbox.Put(event.RootInputDataInformation{
+				TargetVertex: vs.v.Name,
+				TargetTask:   ts.idx,
+				InputName:    src,
+				Payload:      payloads[ts.idx],
+			})
+		}
+	}
+	for _, es := range r.inEdges[vs.v.Name] {
+		for key, dm := range es.movements {
+			srcTask, srcOut := key[0], key[1]
+			for destTask, inputIdx := range es.mgr.Route(srcTask, srcOut) {
+				if destTask != ts.idx {
+					continue
+				}
+				routed := dm
+				routed.TargetVertex = vs.v.Name
+				routed.TargetTask = destTask
+				routed.TargetInput = es.e.From
+				routed.TargetInputIndex = inputIdx
+				at.mbox.Put(routed)
+			}
+		}
+	}
+}
+
+// onAttemptDone handles attempt termination.
+func (r *dagRun) onAttemptDone(at *attemptState, err error) {
+	ts := at.task
+	vs := ts.vertex
+	pc := at.pc
+
+	// Containers killed by the platform are unusable; anything else can be
+	// reused for the next waiting task.
+	containerKilled := errors.Is(err, cluster.ErrContainerKilled)
+	if pc != nil && !containerKilled {
+		r.session.sched.release(pc, !r.finished)
+	} else if pc != nil {
+		r.session.sched.onContainerStopped(pc.c.ID)
+	}
+	if at.mbox != nil {
+		at.mbox.Close()
+	}
+	if r.finished || at.state != aRunning {
+		return
+	}
+
+	if err == nil {
+		r.attemptSucceeded(at)
+		return
+	}
+
+	outcome := "FAILED"
+	switch {
+	case containerKilled:
+		at.state = aKilled
+		outcome = "KILLED"
+		r.counters.Add("ATTEMPTS_KILLED", 1)
+	default:
+		if _, isInput := runtime.AsInputReadError(err); isInput {
+			// The producer is being re-executed (the InputReadError event
+			// preceded this message); this attempt is a casualty, not a
+			// failure.
+			at.state = aKilled
+			outcome = "KILLED"
+			r.counters.Add("ATTEMPTS_KILLED_INPUT_ERROR", 1)
+		} else {
+			at.state = aFailed
+			ts.failures++
+			r.counters.Add("ATTEMPTS_FAILED", 1)
+		}
+	}
+	r.recordAttempt(at, outcome)
+	if ts.state == tSucceeded {
+		return // a speculative twin already won
+	}
+	if ts.failures >= r.cfg.MaxTaskAttempts {
+		ts.state = tFailed
+		vs.state = vFailed
+		r.fail(DAGFailed, fmt.Errorf("am: task %s/%d failed %d attempts, last: %w",
+			vs.v.Name, ts.idx, ts.failures, err))
+		return
+	}
+	if ts.runningAttempts() == 0 {
+		r.newAttempt(ts, false)
+	}
+}
+
+// attemptSucceeded commits an attempt's success into the task and vertex.
+func (r *dagRun) attemptSucceeded(at *attemptState) {
+	ts := at.task
+	vs := ts.vertex
+	if ts.state == tSucceeded {
+		// Lost the speculative race.
+		at.state = aKilled
+		r.recordAttempt(at, "KILLED")
+		return
+	}
+	at.state = aSucceeded
+	ts.state = tSucceeded
+	ts.winner = at
+	vs.completed++
+	vs.durations = append(vs.durations, time.Since(at.start))
+	r.counters.Add("TASKS_SUCCEEDED", 1)
+	r.recordAttempt(at, "SUCCEEDED")
+
+	// Kill the losing twins.
+	for _, other := range ts.attempts {
+		if other == at {
+			continue
+		}
+		switch other.state {
+		case aWaiting:
+			other.state = aKilled
+			if other.req != nil {
+				r.session.sched.cancel(other.req)
+			}
+		case aRunning:
+			other.state = aKilled
+			if other.pc != nil {
+				r.session.sched.discard(other.pc)
+			}
+		}
+	}
+
+	// Tell downstream vertex managers.
+	for _, es := range r.outEdges[vs.v.Name] {
+		if es.to.managerStarted {
+			es.to.manager.OnSourceTaskCompleted(vs.v.Name, ts.idx)
+		}
+	}
+	if vs.completed == vs.parallelism {
+		r.vertexSucceeded(vs)
+	}
+}
+
+func (r *dagRun) recordAttempt(at *attemptState, outcome string) {
+	r.trace.Record(metrics.AttemptRecord{
+		Vertex:      at.task.vertex.v.Name,
+		Task:        at.task.idx,
+		Attempt:     at.id,
+		Node:        at.node,
+		Locality:    at.locality.String(),
+		Speculative: at.speculative,
+		Start:       at.start,
+		End:         time.Now(),
+		Outcome:     outcome,
+	})
+}
+
+// vertexSucceeded finalises a vertex: launch sink committers, checkpoint,
+// and maybe finish the DAG.
+func (r *dagRun) vertexSucceeded(vs *vertexState) {
+	if vs.state == vSucceeded {
+		return
+	}
+	vs.state = vSucceeded
+	r.counters.Add("VERTICES_SUCCEEDED", 1)
+	r.session.sched.sweepVertexRegistries(r.id, vs.v.Name)
+	if len(vs.v.Sinks) > 0 && !vs.committed {
+		vs.committed = true
+		r.pendingCommits++
+		vsCopy := vs
+		go func() {
+			err := r.commitSinks(vsCopy)
+			r.mb.Put(msgCommitDone{vs: vsCopy, err: err})
+		}()
+	}
+	if r.cfg.CheckpointPath != "" {
+		r.saveCheckpoint()
+	}
+	r.maybeFinish()
+}
+
+// commitSinks runs each sink's committer exactly once (§3.1).
+func (r *dagRun) commitSinks(vs *vertexState) error {
+	success := make(map[int]int, len(vs.tasks))
+	for _, ts := range vs.tasks {
+		if ts.winner != nil {
+			success[ts.idx] = ts.winner.id
+		} else if ts.restored {
+			success[ts.idx] = ts.restoredAttempt
+		} else {
+			return fmt.Errorf("am: commit %s: task %d has no successful attempt", vs.v.Name, ts.idx)
+		}
+	}
+	for _, sink := range vs.v.Sinks {
+		if sink.Committer.IsZero() {
+			continue
+		}
+		c, err := runtime.NewCommitter(sink.Committer)
+		if err != nil {
+			return err
+		}
+		err = c.Commit(&runtime.CommitContext{
+			DAG:               r.id,
+			Vertex:            vs.v.Name,
+			Sink:              sink.Name,
+			Payload:           sink.Committer.Payload,
+			FS:                r.session.plat.FS,
+			Parallelism:       vs.parallelism,
+			SuccessfulAttempt: success,
+		})
+		if err != nil {
+			return fmt.Errorf("am: commit %s/%s: %w", vs.v.Name, sink.Name, err)
+		}
+	}
+	return nil
+}
+
+func (r *dagRun) onCommitDone(vs *vertexState, err error) {
+	r.pendingCommits--
+	if err != nil {
+		r.fail(DAGFailed, err)
+		return
+	}
+	vs.commitComplete = true
+	r.counters.Add("SINKS_COMMITTED", 1)
+	if r.cfg.CheckpointPath != "" {
+		r.saveCheckpoint()
+	}
+	r.maybeFinish()
+}

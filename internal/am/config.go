@@ -1,0 +1,121 @@
+// Package am implements the Tez orchestration framework: the YARN
+// Application Master of §4 that executes DAGs on the cluster. It contains
+// the DAG/vertex/task/attempt state machines, the task scheduler with
+// container reuse and sessions (§4.2), VertexManagers and
+// DataSourceInitializers for runtime DAG evolution (§3.4–3.5), locality-
+// aware scheduling with delay scheduling, speculative execution, fault
+// tolerance through task re-execution with InputFailed retraction and
+// cascading recovery bounded by reliable edges, out-of-order-scheduling
+// deadlock preemption, the per-container shared object registry, and AM
+// checkpoint/recovery (§4.3).
+package am
+
+import (
+	"time"
+
+	"tez/internal/cluster"
+)
+
+// Config tunes a session (and the DAGs it runs).
+type Config struct {
+	// Name identifies the session's YARN application.
+	Name string
+	// ContainerResource is the per-task container size.
+	ContainerResource cluster.Resource
+	// MaxTaskAttempts bounds re-execution of a failing task (default 4).
+	MaxTaskAttempts int
+	// DisableContainerReuse releases each container after a single task
+	// (the MapReduce behaviour; ablation knob for §4.2).
+	DisableContainerReuse bool
+	// ContainerIdleRelease is how long an idle reusable container is held
+	// before being returned to YARN (default 25ms at simulation scale).
+	ContainerIdleRelease time.Duration
+	// PrewarmContainers asks the session to launch this many containers
+	// before the first DAG arrives (§4.2, Sessions).
+	PrewarmContainers int
+
+	// Speculation enables straggler mitigation (§4.2).
+	Speculation bool
+	// SpeculationInterval is the straggler check period (default 5ms).
+	SpeculationInterval time.Duration
+	// SpeculationFactor: an attempt running longer than factor × the mean
+	// completed-task runtime of its vertex is a straggler (default 3).
+	SpeculationFactor float64
+	// SpeculationMinCompleted completed tasks are required in a vertex
+	// before estimating stragglers (default 3).
+	SpeculationMinCompleted int
+
+	// SlowStartMin/Max control shuffle consumer scheduling: consumers are
+	// scheduled proportionally as the source-complete fraction moves from
+	// Min to Max (defaults 0.25 / 0.75; 0/0 schedules immediately).
+	SlowStartMin float64
+	SlowStartMax float64
+	// DisableSlowStart makes shuffle consumers wait for all sources
+	// (ablation knob).
+	DisableSlowStart bool
+
+	// DisableAutoParallelism turns off the ShuffleVertexManager's runtime
+	// partition-cardinality estimation (Figure 6; ablation knob).
+	DisableAutoParallelism bool
+	// DesiredBytesPerReducer is the auto-parallelism heuristic target
+	// (default 32 KiB at simulation scale).
+	DesiredBytesPerReducer int64
+	// MinReducers floors the auto-parallelism estimate (default 1).
+	MinReducers int
+
+	// DeadlockCheckInterval / DeadlockWait configure detection of
+	// scheduling deadlocks caused by out-of-order task scheduling: when
+	// requests have been starved for DeadlockWait while a descendant of
+	// the starved vertex occupies a container, the descendant attempt is
+	// preempted (§3.4). Defaults 5ms / 50ms.
+	DeadlockCheckInterval time.Duration
+	DeadlockWait          time.Duration
+
+	// CheckpointPath, when set, makes DAG runs checkpoint their state to
+	// the DFS under this directory after every vertex completion so a new
+	// AM can recover (§4.3).
+	CheckpointPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "tez-session"
+	}
+	if c.ContainerResource.IsZero() {
+		c.ContainerResource = cluster.Resource{MemoryMB: 1024, VCores: 1}
+	}
+	if c.MaxTaskAttempts <= 0 {
+		c.MaxTaskAttempts = 4
+	}
+	if c.ContainerIdleRelease <= 0 {
+		c.ContainerIdleRelease = 25 * time.Millisecond
+	}
+	if c.SpeculationInterval <= 0 {
+		c.SpeculationInterval = 5 * time.Millisecond
+	}
+	if c.SpeculationFactor <= 1 {
+		c.SpeculationFactor = 3
+	}
+	if c.SpeculationMinCompleted <= 0 {
+		c.SpeculationMinCompleted = 3
+	}
+	if c.SlowStartMin <= 0 && c.SlowStartMax <= 0 {
+		c.SlowStartMin, c.SlowStartMax = 0.25, 0.75
+	}
+	if c.SlowStartMax < c.SlowStartMin {
+		c.SlowStartMax = c.SlowStartMin
+	}
+	if c.DesiredBytesPerReducer <= 0 {
+		c.DesiredBytesPerReducer = 32 * 1024
+	}
+	if c.MinReducers <= 0 {
+		c.MinReducers = 1
+	}
+	if c.DeadlockCheckInterval <= 0 {
+		c.DeadlockCheckInterval = 5 * time.Millisecond
+	}
+	if c.DeadlockWait <= 0 {
+		c.DeadlockWait = 50 * time.Millisecond
+	}
+	return c
+}

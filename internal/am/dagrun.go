@@ -1,0 +1,706 @@
+package am
+
+import (
+	"fmt"
+	"time"
+
+	"tez/internal/cluster"
+	"tez/internal/dag"
+	"tez/internal/event"
+	"tez/internal/mailbox"
+	"tez/internal/metrics"
+	"tez/internal/runtime"
+	"tez/internal/security"
+)
+
+// DAGStatus is the terminal state of a DAG run.
+type DAGStatus int
+
+// DAG terminal states.
+const (
+	DAGRunning DAGStatus = iota
+	DAGSucceeded
+	DAGFailed
+	DAGKilled
+)
+
+func (s DAGStatus) String() string {
+	switch s {
+	case DAGRunning:
+		return "RUNNING"
+	case DAGSucceeded:
+		return "SUCCEEDED"
+	case DAGFailed:
+		return "FAILED"
+	default:
+		return "KILLED"
+	}
+}
+
+// DAGResult is what a DAG run returns.
+type DAGResult struct {
+	Status   DAGStatus
+	Err      error
+	Duration time.Duration
+	Counters *metrics.Counters
+	Trace    *metrics.Trace
+}
+
+// Vertex / task / attempt state machines.
+
+type vState int
+
+const (
+	vNew vState = iota
+	vIniting
+	vInited
+	vRunning
+	vSucceeded
+	vFailed
+)
+
+type tState int
+
+const (
+	tPending tState = iota
+	tScheduled
+	tRunning
+	tSucceeded
+	tFailed
+)
+
+type aState int
+
+const (
+	aWaiting aState = iota // waiting for a container
+	aRunning
+	aSucceeded
+	aFailed
+	aKilled
+)
+
+type vertexState struct {
+	v           *dag.Vertex
+	state       vState
+	parallelism int
+	priority    int // topological depth; lower runs first
+	tasks       []*taskState
+	completed   int
+	durations   []time.Duration // completed task runtimes (speculation)
+
+	manager        VertexManager
+	managerStarted bool
+	pendingVM      []event.VertexManagerEvent // events before manager start
+
+	initsOutstanding int
+	initEvents       map[string]*mailbox.Mailbox[event.InputInitializerEvent]
+	rootPayloads     map[string][][]byte
+	locationHints    [][]string
+
+	parWaiters []chan int // initializer queries blocked on our parallelism
+	// committed: commit launched; commitComplete: commit finished.
+	committed      bool
+	commitComplete bool
+}
+
+type taskState struct {
+	vertex   *vertexState
+	idx      int
+	state    tState
+	attempts []*attemptState
+	winner   *attemptState // the succeeded attempt
+	failures int
+	// restored marks tasks recovered from a checkpoint (not re-run);
+	// restoredAttempt/restoredNode identify the recovered success.
+	restored        bool
+	restoredAttempt int
+	restoredNode    string
+}
+
+// runningAttempts counts attempts not yet terminal.
+func (t *taskState) runningAttempts() int {
+	n := 0
+	for _, a := range t.attempts {
+		if a.state == aWaiting || a.state == aRunning {
+			n++
+		}
+	}
+	return n
+}
+
+type attemptState struct {
+	task        *taskState
+	id          int
+	state       aState
+	speculative bool
+	req         *taskRequest
+	pc          *pooledContainer
+	node        string
+	locality    cluster.Locality
+	mbox        *mailbox.Mailbox[event.Event]
+	start       time.Time
+}
+
+type edgeState struct {
+	e         *dag.Edge
+	from, to  *vertexState
+	mgr       dag.EdgeManager
+	baseParts int
+	// movements holds the latest DataMovement per (srcTask, srcOutput) so
+	// late-starting consumers can be replayed the full history.
+	movements map[[2]int]event.DataMovement
+}
+
+// Internal dispatcher messages.
+
+type amMsg interface{}
+
+type msgAssigned struct {
+	at *attemptState
+	pc *pooledContainer
+}
+
+type msgAttemptDone struct {
+	at  *attemptState
+	err error
+}
+
+type msgTaskEvent struct {
+	at *attemptState
+	ev event.Event
+}
+
+type msgInitDone struct {
+	vs     *vertexState
+	source string
+	res    *runtime.InitializerResult
+	err    error
+}
+
+type msgCommitDone struct {
+	vs  *vertexState
+	err error
+}
+
+type msgNodeFailed struct{ node cluster.NodeID }
+
+type msgTick struct{}
+
+type msgKill struct{ reason string }
+
+// dagRun executes one DAG. A single dispatcher goroutine consumes the
+// mailbox and owns all mutable state — the state machines never need
+// locks, mirroring the event-driven AM of §3.3.
+type dagRun struct {
+	session *Session
+	cfg     Config
+	d       *dag.DAG
+	id      string // unique run id (shuffle namespace, checkpoint key)
+
+	mb       *mailbox.Mailbox[amMsg]
+	vertices map[string]*vertexState
+	topo     []string
+	edges    []*edgeState
+	inEdges  map[string][]*edgeState
+	outEdges map[string][]*edgeState
+
+	counters *metrics.Counters
+	trace    *metrics.Trace
+	token    security.Token
+
+	started        time.Time
+	finished       bool
+	result         DAGResult
+	done           chan struct{}
+	pendingCommits int
+	tickerStop     chan struct{}
+
+	// recovered checkpoint to apply at start (nil for fresh runs).
+	recovered *checkpoint
+}
+
+func newDAGRun(s *Session, d *dag.DAG, id string) (*dagRun, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	r := &dagRun{
+		session:  s,
+		cfg:      s.cfg,
+		d:        d,
+		id:       id,
+		mb:       mailbox.New[amMsg](),
+		vertices: make(map[string]*vertexState),
+		inEdges:  make(map[string][]*edgeState),
+		outEdges: make(map[string][]*edgeState),
+		counters: metrics.NewCounters(),
+		trace:    metrics.NewTrace(),
+		done:     make(chan struct{}),
+	}
+	for depth, name := range topo {
+		v := d.Vertex(name)
+		vs := &vertexState{
+			v:            v,
+			parallelism:  v.Parallelism,
+			priority:     depth,
+			initEvents:   make(map[string]*mailbox.Mailbox[event.InputInitializerEvent]),
+			rootPayloads: make(map[string][][]byte),
+		}
+		if len(v.LocationHints) > 0 {
+			vs.locationHints = v.LocationHints
+		}
+		r.vertices[name] = vs
+	}
+	r.topo = topo
+	for _, e := range d.Edges {
+		es := &edgeState{
+			e:         e,
+			from:      r.vertices[e.From],
+			to:        r.vertices[e.To],
+			movements: make(map[[2]int]event.DataMovement),
+		}
+		r.edges = append(r.edges, es)
+		r.inEdges[e.To] = append(r.inEdges[e.To], es)
+		r.outEdges[e.From] = append(r.outEdges[e.From], es)
+	}
+	return r, nil
+}
+
+// start launches the dispatcher and background ticker.
+func (r *dagRun) start() {
+	r.started = time.Now()
+	if a := r.session.plat.Authority; a != nil {
+		r.token = a.Issue(r.id)
+	}
+	r.tickerStop = make(chan struct{})
+	interval := r.cfg.SpeculationInterval
+	if r.cfg.DeadlockCheckInterval < interval {
+		interval = r.cfg.DeadlockCheckInterval
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.tickerStop:
+				return
+			case <-t.C:
+				r.mb.Put(msgTick{})
+			}
+		}
+	}()
+	go r.loop()
+}
+
+func (r *dagRun) loop() {
+	r.bootstrap()
+	for !r.finished {
+		m, ok := r.mb.Get()
+		if !ok {
+			return
+		}
+		r.dispatch(m)
+	}
+	// Terminal: stop background work and release everything still held.
+	close(r.tickerStop)
+	r.teardown()
+	r.result.Duration = time.Since(r.started)
+	r.result.Counters = r.counters
+	r.result.Trace = r.trace
+	r.session.runFinished(r)
+	close(r.done)
+}
+
+func (r *dagRun) dispatch(m amMsg) {
+	switch msg := m.(type) {
+	case msgAssigned:
+		r.onAssigned(msg.at, msg.pc)
+	case msgAttemptDone:
+		r.onAttemptDone(msg.at, msg.err)
+	case msgTaskEvent:
+		r.onTaskEvent(msg.at, msg.ev)
+	case msgInitDone:
+		r.onInitDone(msg.vs, msg.source, msg.res, msg.err)
+	case msgCommitDone:
+		r.onCommitDone(msg.vs, msg.err)
+	case msgNodeFailed:
+		r.onNodeFailed(msg.node)
+	case msgTick:
+		r.onTick()
+	case msgKill:
+		r.fail(DAGKilled, fmt.Errorf("am: dag %s killed: %s", r.id, msg.reason))
+	case msgParQuery:
+		r.onParQuery(msg)
+	}
+}
+
+// bootstrap applies any recovered checkpoint, then initializes vertices:
+// runs data-source initializers, resolves static parallelism, and starts
+// whatever is ready.
+func (r *dagRun) bootstrap() {
+	if r.recovered != nil {
+		r.applyCheckpoint(r.recovered)
+	}
+	for _, name := range r.topo {
+		vs := r.vertices[name]
+		if vs.state != vNew {
+			continue
+		}
+		if n := len(initializers(vs.v)); n > 0 && !r.vertexRestored(vs) {
+			vs.state = vIniting
+			vs.initsOutstanding = n
+			r.runInitializers(vs)
+			continue
+		}
+		r.tryInitVertex(vs)
+	}
+	r.advance()
+}
+
+// vertexRestored reports whether a checkpoint fully restored this vertex.
+func (r *dagRun) vertexRestored(vs *vertexState) bool {
+	return vs.state == vSucceeded
+}
+
+func initializers(v *dag.Vertex) []dag.DataSource {
+	var out []dag.DataSource
+	for _, s := range v.Sources {
+		if !s.Initializer.IsZero() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runInitializers spawns one goroutine per initializer (§3.5) — they may
+// block waiting for InputInitializerEvents from other vertices (dynamic
+// partition pruning) while the rest of the DAG proceeds.
+func (r *dagRun) runInitializers(vs *vertexState) {
+	for _, src := range initializers(vs.v) {
+		src := src
+		mbx := mailbox.New[event.InputInitializerEvent]()
+		vs.initEvents[src.Name] = mbx
+		ictx := &runtime.InitializerContext{
+			DAG:          r.id,
+			Vertex:       vs.v.Name,
+			Source:       src.Name,
+			Payload:      src.Initializer.Payload,
+			FS:           r.session.plat.FS,
+			ClusterNodes: nodeNames(r.session.plat.RM.Nodes()),
+			Events:       mbx,
+			Stop:         r.done,
+			VertexParallelism: func(name string) int {
+				return r.queryParallelism(name)
+			},
+		}
+		go func() {
+			init, err := runtime.NewInitializer(src.Initializer)
+			if err != nil {
+				r.mb.Put(msgInitDone{vs: vs, source: src.Name, err: err})
+				return
+			}
+			res, err := init.Run(ictx)
+			r.mb.Put(msgInitDone{vs: vs, source: src.Name, res: res, err: err})
+		}()
+	}
+}
+
+func nodeNames(ids []cluster.NodeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+// queryParallelism blocks until the named vertex's parallelism is decided
+// (used by initializers awaiting a source vertex's fan-out).
+func (r *dagRun) queryParallelism(name string) int {
+	reply := make(chan int, 1)
+	r.mb.Put(msgParQuery{name: name, reply: reply})
+	select {
+	case p := <-reply:
+		return p
+	case <-r.done:
+		return -1
+	}
+}
+
+type msgParQuery struct {
+	name  string
+	reply chan int
+}
+
+// onInitDone integrates an initializer's result.
+func (r *dagRun) onInitDone(vs *vertexState, source string, res *runtime.InitializerResult, err error) {
+	if r.finished || vs.state != vIniting {
+		return
+	}
+	if err != nil {
+		r.fail(DAGFailed, fmt.Errorf("am: initializer %s/%s: %w", vs.v.Name, source, err))
+		return
+	}
+	if res != nil {
+		if res.Parallelism > 0 {
+			if vs.parallelism > 0 && vs.parallelism != res.Parallelism && len(vs.rootPayloads) > 0 {
+				r.fail(DAGFailed, fmt.Errorf("am: initializers of %s disagree on parallelism (%d vs %d)",
+					vs.v.Name, vs.parallelism, res.Parallelism))
+				return
+			}
+			vs.parallelism = res.Parallelism
+		}
+		vs.rootPayloads[source] = res.PerTaskPayload
+		if len(res.LocationHints) > 0 {
+			vs.locationHints = res.LocationHints
+		}
+	}
+	vs.initsOutstanding--
+	if vs.initsOutstanding == 0 {
+		r.tryInitVertex(vs)
+		r.advance()
+	}
+}
+
+// tryInitVertex moves a vertex to vInited once its parallelism is known,
+// creating its task states.
+func (r *dagRun) tryInitVertex(vs *vertexState) {
+	if vs.state == vInited || vs.state == vRunning || vs.state == vSucceeded {
+		return
+	}
+	if vs.parallelism < 0 {
+		// A 1-1 edge propagates parallelism from an inited source.
+		for _, es := range r.inEdges[vs.v.Name] {
+			if es.e.Property.Movement == dag.OneToOne && es.from.parallelism > 0 &&
+				(es.from.state == vInited || es.from.state == vRunning || es.from.state == vSucceeded) {
+				vs.parallelism = es.from.parallelism
+				break
+			}
+		}
+	}
+	if vs.parallelism < 0 {
+		return // not decidable yet
+	}
+	vs.state = vInited
+	vs.tasks = make([]*taskState, vs.parallelism)
+	for i := range vs.tasks {
+		vs.tasks[i] = &taskState{vertex: vs, idx: i}
+	}
+	// Answer any blocked initializer queries for this vertex.
+	for _, w := range vs.parWaiters {
+		w <- vs.parallelism
+	}
+	vs.parWaiters = nil
+}
+
+// advance drives global progress: propagate parallelism, build edge
+// managers, and start vertices whose in/out geometry is complete.
+func (r *dagRun) advance() {
+	if r.finished {
+		return
+	}
+	// Repeated passes: 1-1 propagation can cascade.
+	for changed := true; changed; {
+		changed = false
+		for _, name := range r.topo {
+			vs := r.vertices[name]
+			if vs.state == vNew || (vs.state == vIniting && vs.initsOutstanding == 0) {
+				before := vs.state
+				r.tryInitVertex(vs)
+				if vs.state != before {
+					changed = true
+				}
+			}
+		}
+	}
+	// Build edge managers where both endpoints are inited.
+	for _, es := range r.edges {
+		if es.mgr != nil {
+			continue
+		}
+		if vertexReady(es.from) && vertexReady(es.to) {
+			if err := r.buildEdgeManager(es, es.to.parallelism); err != nil {
+				r.fail(DAGFailed, err)
+				return
+			}
+		}
+	}
+	// Start vertices: inited, with every edge manager in place.
+	for _, name := range r.topo {
+		vs := r.vertices[name]
+		if vs.state != vInited {
+			continue
+		}
+		if !r.edgesReady(vs) {
+			continue
+		}
+		r.startVertex(vs)
+		if r.finished {
+			return
+		}
+	}
+	r.maybeFinish()
+}
+
+func vertexReady(vs *vertexState) bool {
+	switch vs.state {
+	case vInited, vRunning, vSucceeded:
+		return vs.parallelism > 0
+	}
+	return false
+}
+
+// edgesReady gates vertex start. Every in-edge needs its routing table;
+// out-edges only gate when the producer's physical output count depends on
+// the destination's parallelism (scatter-gather, custom). Broadcast and
+// one-to-one producers emit a single physical output, so they may start —
+// and finish — before the consumer is even configured (e.g. a dimension
+// scan broadcasting into a fact vertex whose pruning initializer is still
+// waiting for that very scan's events, §3.5).
+func (r *dagRun) edgesReady(vs *vertexState) bool {
+	for _, es := range r.inEdges[vs.v.Name] {
+		if es.mgr == nil {
+			return false
+		}
+	}
+	for _, es := range r.outEdges[vs.v.Name] {
+		if es.mgr == nil && !singleOutputMovement(es.e.Property.Movement) {
+			return false
+		}
+	}
+	return true
+}
+
+func singleOutputMovement(m dag.MovementType) bool {
+	return m == dag.Broadcast || m == dag.OneToOne
+}
+
+// buildEdgeManager (re)builds the routing table of an edge; destPar may be
+// smaller than baseParts after auto-reduce.
+func (r *dagRun) buildEdgeManager(es *edgeState, destPar int) error {
+	if es.baseParts == 0 {
+		es.baseParts = destPar
+	}
+	mgr, err := dag.NewEdgeManager(es.e.Property, dag.EdgeContext{
+		SrcParallelism:  es.from.parallelism,
+		DestParallelism: destPar,
+		BasePartitions:  es.baseParts,
+	})
+	if err != nil {
+		return fmt.Errorf("am: edge %s->%s: %w", es.e.From, es.e.To, err)
+	}
+	es.mgr = mgr
+	return nil
+}
+
+// startVertex transitions to vRunning and hands control to the vertex
+// manager.
+func (r *dagRun) startVertex(vs *vertexState) {
+	vs.state = vRunning
+	if vs.completed == vs.parallelism {
+		// Fully restored from checkpoint.
+		r.vertexSucceeded(vs)
+		return
+	}
+	mgr, err := newVertexManager(vs.v.Manager)
+	if err != nil {
+		r.fail(DAGFailed, err)
+		return
+	}
+	vs.manager = mgr
+	ctx := &vmContext{run: r, vs: vs}
+	if err := mgr.Initialize(ctx); err != nil {
+		r.fail(DAGFailed, fmt.Errorf("am: vertex manager of %s: %w", vs.v.Name, err))
+		return
+	}
+	vs.managerStarted = true
+	mgr.OnVertexStarted()
+	// Flush buffered stats events and completion notifications that
+	// happened before the manager existed.
+	for _, ev := range vs.pendingVM {
+		mgr.OnVertexManagerEvent(ev)
+	}
+	vs.pendingVM = nil
+}
+
+// fail terminates the DAG.
+func (r *dagRun) fail(status DAGStatus, err error) {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.result = DAGResult{Status: status, Err: err}
+}
+
+// maybeFinish completes the DAG when every vertex succeeded and all sink
+// commits are done.
+func (r *dagRun) maybeFinish() {
+	if r.finished || r.pendingCommits > 0 {
+		return
+	}
+	for _, vs := range r.vertices {
+		if vs.state != vSucceeded {
+			return
+		}
+	}
+	r.finished = true
+	r.result = DAGResult{Status: DAGSucceeded}
+	// Intermediate data is no longer needed.
+	r.session.plat.Shuffle.DeleteDAG(r.id)
+	r.session.plat.FS.Delete(r.checkpointPath())
+}
+
+// teardown cancels outstanding requests and frees containers of running
+// attempts after a terminal transition.
+func (r *dagRun) teardown() {
+	for _, vs := range r.vertices {
+		for _, ts := range vs.tasks {
+			for _, at := range ts.attempts {
+				switch at.state {
+				case aWaiting:
+					at.state = aKilled
+					if at.req != nil {
+						r.session.sched.cancel(at.req)
+					}
+				case aRunning:
+					at.state = aKilled
+					if at.pc != nil {
+						r.session.sched.discard(at.pc)
+					}
+				}
+				if at.mbox != nil {
+					at.mbox.Close()
+				}
+			}
+		}
+		for _, mbx := range vs.initEvents {
+			mbx.Close()
+		}
+		for _, w := range vs.parWaiters {
+			close(w)
+		}
+		vs.parWaiters = nil
+	}
+	// Sweep per-container object registries of this DAG and revoke its
+	// data-plane credential: zombie attempts can no longer publish or read
+	// intermediate data (§4.3).
+	r.session.sched.sweepRegistries(r.id)
+	if a := r.session.plat.Authority; a != nil {
+		a.Revoke(r.id)
+	}
+}
+
+func (r *dagRun) onParQuery(q msgParQuery) {
+	vs, ok := r.vertices[q.name]
+	if !ok {
+		q.reply <- -1
+		return
+	}
+	if vs.parallelism > 0 && vs.state != vNew && vs.state != vIniting {
+		q.reply <- vs.parallelism
+		return
+	}
+	vs.parWaiters = append(vs.parWaiters, q.reply)
+}

@@ -1,0 +1,211 @@
+package am
+
+import (
+	"tez/internal/cluster"
+	"tez/internal/dag"
+	"tez/internal/event"
+)
+
+// onTaskEvent routes a control event emitted by a task (§3.3): the
+// framework inspects only the envelope and routes the opaque payload.
+func (r *dagRun) onTaskEvent(at *attemptState, ev event.Event) {
+	if r.finished {
+		return
+	}
+	// Zombie protection: only currently-running attempts may influence the
+	// control plane.
+	if at.state != aRunning {
+		return
+	}
+	switch e := ev.(type) {
+	case event.DataMovement:
+		r.routeDataMovement(e)
+	case event.VertexManagerEvent:
+		r.routeVMEvent(e)
+	case event.InputInitializerEvent:
+		r.routeInitializerEvent(e)
+	case event.InputReadError:
+		r.onInputReadError(e)
+	}
+}
+
+// routeDataMovement stores a movement and delivers it to running consumer
+// attempts per the edge manager's connection pattern (Figure 5).
+func (r *dagRun) routeDataMovement(dm event.DataMovement) {
+	es := r.findEdge(dm.SrcVertex, dm.TargetVertex)
+	if es == nil {
+		return
+	}
+	// Always record the movement; if the consumer's routing table does not
+	// exist yet (producer ran ahead of consumer configuration), the stored
+	// movement is replayed when consumer attempts start.
+	es.movements[[2]int{dm.SrcTask, dm.SrcOutputIndex}] = dm
+	if es.mgr != nil {
+		r.deliverMovement(es, dm)
+	}
+}
+
+func (r *dagRun) deliverMovement(es *edgeState, dm event.DataMovement) {
+	for destTask, inputIdx := range es.mgr.Route(dm.SrcTask, dm.SrcOutputIndex) {
+		if destTask >= len(es.to.tasks) {
+			continue
+		}
+		routed := dm
+		routed.TargetVertex = es.to.v.Name
+		routed.TargetTask = destTask
+		routed.TargetInput = es.e.From
+		routed.TargetInputIndex = inputIdx
+		for _, cat := range es.to.tasks[destTask].attempts {
+			if cat.state == aRunning {
+				cat.mbox.Put(routed)
+			}
+		}
+	}
+}
+
+// routeVMEvent delivers statistics to the target vertex's manager,
+// buffering if the manager does not exist yet.
+func (r *dagRun) routeVMEvent(e event.VertexManagerEvent) {
+	vs, ok := r.vertices[e.TargetVertex]
+	if !ok {
+		return
+	}
+	if vs.managerStarted {
+		vs.manager.OnVertexManagerEvent(e)
+		return
+	}
+	vs.pendingVM = append(vs.pendingVM, e)
+}
+
+// routeInitializerEvent feeds a data-source initializer (§3.5, dynamic
+// partition pruning).
+func (r *dagRun) routeInitializerEvent(e event.InputInitializerEvent) {
+	vs, ok := r.vertices[e.TargetVertex]
+	if !ok {
+		return
+	}
+	if mbx, ok := vs.initEvents[e.TargetDataSource]; ok {
+		mbx.Put(e)
+	}
+}
+
+func (r *dagRun) findEdge(from, to string) *edgeState {
+	for _, es := range r.outEdges[from] {
+		if es.e.To == to {
+			return es
+		}
+	}
+	return nil
+}
+
+// onInputReadError re-executes the producer whose intermediate data was
+// lost (§4.3). Cascades happen naturally: if the re-executed producer also
+// cannot read its inputs, its own InputReadError walks one more step up
+// the DAG, until a reliable edge (or a root input in the DFS) provides a
+// barrier.
+func (r *dagRun) onInputReadError(e event.InputReadError) {
+	vs, ok := r.vertices[e.SrcVertex]
+	if !ok || e.SrcTask < 0 || e.SrcTask >= len(vs.tasks) {
+		return
+	}
+	ts := vs.tasks[e.SrcTask]
+	current := -1
+	if ts.winner != nil {
+		current = ts.winner.id
+	} else if ts.restored {
+		current = ts.restoredAttempt
+	}
+	if ts.state != tSucceeded || current != e.SrcAttempt {
+		// Stale report: the producer is already being handled.
+		return
+	}
+	r.counters.Add("INPUT_READ_ERRORS", 1)
+	r.reexecuteTask(ts)
+}
+
+// reexecuteTask rolls a succeeded task back and schedules a fresh attempt,
+// retracting its published data movements from running consumers.
+func (r *dagRun) reexecuteTask(ts *taskState) {
+	vs := ts.vertex
+	oldAttempt := -1
+	if ts.winner != nil {
+		oldAttempt = ts.winner.id
+	} else if ts.restored {
+		oldAttempt = ts.restoredAttempt
+	}
+	ts.restored = false
+	ts.winner = nil
+	ts.state = tRunning
+	vs.completed--
+	if vs.state == vSucceeded {
+		vs.state = vRunning
+	}
+	r.counters.Add("TASKS_REEXECUTED", 1)
+
+	// Retract stored movements of this task and notify running consumers.
+	for _, es := range r.outEdges[vs.v.Name] {
+		if es.mgr == nil {
+			continue
+		}
+		for key := range es.movements {
+			if key[0] != ts.idx {
+				continue
+			}
+			delete(es.movements, key)
+			for destTask, inputIdx := range es.mgr.Route(key[0], key[1]) {
+				if destTask >= len(es.to.tasks) {
+					continue
+				}
+				retract := event.InputFailed{
+					TargetVertex:     es.to.v.Name,
+					TargetTask:       destTask,
+					TargetInput:      es.e.From,
+					TargetInputIndex: inputIdx,
+					SrcTask:          ts.idx,
+					SrcAttempt:       oldAttempt,
+				}
+				for _, cat := range es.to.tasks[destTask].attempts {
+					if cat.state == aRunning {
+						cat.mbox.Put(retract)
+					}
+				}
+			}
+		}
+	}
+	r.newAttempt(ts, false)
+}
+
+// onNodeFailed proactively re-executes completed tasks whose (ephemeral)
+// outputs lived on the lost machine, decreasing the chance that consumers
+// hit InputReadErrors later (§4.3). Tasks whose outputs all cross reliable
+// edges — or go only to DFS sinks — are spared: reliable storage is the
+// barrier to cascading re-execution.
+func (r *dagRun) onNodeFailed(node cluster.NodeID) {
+	if r.finished {
+		return
+	}
+	r.counters.Add("NODE_FAILURES_OBSERVED", 1)
+	for _, name := range r.topo {
+		vs := r.vertices[name]
+		ephemeral := false
+		for _, es := range r.outEdges[name] {
+			if es.e.Property.Resilience == dag.Ephemeral {
+				ephemeral = true
+				break
+			}
+		}
+		if !ephemeral {
+			continue
+		}
+		for _, ts := range vs.tasks {
+			if ts.state != tSucceeded {
+				continue
+			}
+			onNode := ts.restored && ts.restoredNode == string(node) ||
+				(ts.winner != nil && ts.winner.node == string(node))
+			if onNode {
+				r.reexecuteTask(ts)
+			}
+		}
+	}
+}

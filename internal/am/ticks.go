@@ -1,0 +1,102 @@
+package am
+
+import (
+	"time"
+)
+
+// onTick runs the periodic checks: straggler speculation (§4.2) and
+// out-of-order scheduling deadlock preemption (§3.4).
+func (r *dagRun) onTick() {
+	if r.finished {
+		return
+	}
+	if r.cfg.Speculation {
+		r.checkSpeculation()
+	}
+	r.checkDeadlock()
+}
+
+// checkSpeculation launches a speculative twin for attempts running far
+// longer than the vertex's mean completed-task runtime: the clone races
+// the original to completion (§4.2, Speculation).
+func (r *dagRun) checkSpeculation() {
+	now := time.Now()
+	for _, vs := range r.vertices {
+		if vs.state != vRunning || len(vs.durations) < r.cfg.SpeculationMinCompleted {
+			continue
+		}
+		var total time.Duration
+		for _, d := range vs.durations {
+			total += d
+		}
+		mean := total / time.Duration(len(vs.durations))
+		threshold := time.Duration(float64(mean) * r.cfg.SpeculationFactor)
+		if threshold <= 0 {
+			continue
+		}
+		for _, ts := range vs.tasks {
+			if ts.state != tRunning || len(ts.attempts) == 0 {
+				continue
+			}
+			// One speculative attempt per task, only when exactly one
+			// original is running.
+			running := 0
+			speculated := false
+			var oldest *attemptState
+			for _, at := range ts.attempts {
+				if at.speculative {
+					speculated = true
+				}
+				if at.state == aRunning {
+					running++
+					if oldest == nil || at.start.Before(oldest.start) {
+						oldest = at
+					}
+				}
+			}
+			if speculated || running != 1 || oldest == nil {
+				continue
+			}
+			if now.Sub(oldest.start) > threshold {
+				r.newAttempt(ts, true)
+			}
+		}
+	}
+}
+
+// checkDeadlock detects the scheduling deadlock of §3.4: an out-of-order
+// scheduled descendant holds a container while an ancestor task starves.
+// The DAG dependency identifies the descendant, which is preempted.
+func (r *dagRun) checkDeadlock() {
+	n, oldest, sinceAssign, minPrio := r.session.sched.pendingInfo(r)
+	if n == 0 || oldest < r.cfg.DeadlockWait || sinceAssign < r.cfg.DeadlockWait {
+		return
+	}
+	// Preempt the most-downstream, youngest running attempt of a vertex
+	// strictly below the starved priority.
+	var victim *attemptState
+	for _, vs := range r.vertices {
+		if vs.priority <= minPrio {
+			continue
+		}
+		for _, ts := range vs.tasks {
+			for _, at := range ts.attempts {
+				if at.state != aRunning || at.pc == nil {
+					continue
+				}
+				if victim == nil ||
+					at.task.vertex.priority > victim.task.vertex.priority ||
+					(at.task.vertex.priority == victim.task.vertex.priority && at.start.After(victim.start)) {
+					victim = at
+				}
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	r.counters.Add("DEADLOCK_PREEMPTIONS", 1)
+	// Releasing the container kills the attempt (ErrContainerKilled),
+	// which reschedules the task via the normal KILLED path.
+	r.session.sched.discard(victim.pc)
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny finishes each figure in well under a second for unit testing.
+var tiny = Scale{
+	Name:       "tiny",
+	TPCDSSales: 600, TPCHOrders: 150,
+	NodesF8: 4, NodesF9: 4,
+	PigRows:      400,
+	KMeansPoints: 300, KMeansIters: []int{2},
+	SparkUsers: 3, SparkRows: 300, SparkScales: []int{1},
+	SparkExecs: 4, SparkClusterN: 2,
+}
+
+func requireRows(t *testing.T, rep *Report, minRows int) {
+	t.Helper()
+	if rep == nil || len(rep.Rows) < minRows {
+		t.Fatalf("report %+v has too few rows", rep)
+	}
+	if s := rep.String(); !strings.Contains(s, rep.Figure) {
+		t.Fatal("render missing figure tag")
+	}
+}
+
+func cell(t *testing.T, rep *Report, r, c int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(rep.Rows[r][c], "x"), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", r, c, rep.Rows[r][c], err)
+	}
+	return v
+}
+
+func TestHiveTPCDSReport(t *testing.T) {
+	rep, err := HiveTPCDS(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, rep, len(tpcdsQueries))
+	// Tez should win on the large majority of queries.
+	wins := 0
+	for i := range rep.Rows {
+		if cell(t, rep, i, 3) > 1.0 {
+			wins++
+		}
+	}
+	if wins < len(rep.Rows)-1 {
+		t.Fatalf("Tez won only %d/%d TPC-DS queries:\n%s", wins, len(rep.Rows), rep)
+	}
+}
+
+func TestHiveTPCHReport(t *testing.T) {
+	rep, err := HiveTPCH(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, rep, len(tpchQueries))
+	wins := 0
+	for i := range rep.Rows {
+		if cell(t, rep, i, 3) > 1.0 {
+			wins++
+		}
+	}
+	if wins < len(rep.Rows)-1 {
+		t.Fatalf("Tez won only %d/%d TPC-H queries:\n%s", wins, len(rep.Rows), rep)
+	}
+}
+
+func TestPigProductionReport(t *testing.T) {
+	rep, err := PigProduction(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, rep, len(pigWorkloads))
+}
+
+func TestKMeansReport(t *testing.T) {
+	rep, err := KMeansIterations(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, rep, 1)
+	// The shared session must beat per-iteration AMs.
+	if cell(t, rep, 0, 3) <= 1.0 {
+		t.Fatalf("session mode did not win:\n%s", rep)
+	}
+}
+
+func TestSparkReports(t *testing.T) {
+	tl, err := SparkTimelines(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, tl, 4)
+	lat, err := SparkLatency(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, lat, 1)
+}
+
+func TestAblationSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	reps, err := Ablations(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 8 {
+		t.Fatalf("ablations = %d", len(reps))
+	}
+	for _, r := range reps {
+		requireRows(t, r, 2)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{Figure: "F", Title: "T", Headers: []string{"a", "bb"}}
+	r.AddRow("x", "y")
+	r.Notes = []string{"n"}
+	s := r.String()
+	for _, want := range []string{"F", "T", "a", "bb", "x", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+	if ms(1500*time.Microsecond) != "1.5" {
+		t.Fatal("ms formatting")
+	}
+	if speedup(2*time.Second, time.Second) != "2.00x" {
+		t.Fatal("speedup formatting")
+	}
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"sync"
+
+	"tez/internal/mailbox"
+)
+
+// ContainerRequest asks the RM for one container. Preferences follow the
+// YARN model: preferred nodes, preferred racks, and whether locality may be
+// relaxed. Cookie is returned with the allocation.
+type ContainerRequest struct {
+	Priority      int
+	Resource      Resource
+	Nodes         []NodeID
+	Racks         []string
+	RelaxLocality bool
+	Cookie        any
+
+	// Scheduling opportunities missed at each level (delay scheduling).
+	missedNode int
+	missedRack int
+	cancelled  bool
+}
+
+// Application is an AM's handle onto the resource manager. All
+// notifications arrive through Events().
+type Application struct {
+	ID   AppID
+	Name string
+
+	rm     *ResourceManager
+	events *mailbox.Mailbox[Event]
+
+	mu         sync.Mutex
+	pending    []*ContainerRequest
+	containers map[ContainerID]*Container
+	allocated  Resource
+	finished   bool
+}
+
+// Events returns the mailbox carrying RM→AM notifications.
+func (a *Application) Events() *mailbox.Mailbox[Event] { return a.events }
+
+// Request enqueues container requests; the scheduler services them on its
+// next heartbeat.
+func (a *Application) Request(reqs ...*ContainerRequest) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.finished {
+		return
+	}
+	a.pending = append(a.pending, reqs...)
+}
+
+// Cancel withdraws a pending request. Cancelling an already-satisfied or
+// unknown request is a no-op.
+func (a *Application) Cancel(req *ContainerRequest) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	req.cancelled = true
+}
+
+// PendingRequests returns the number of outstanding container requests.
+func (a *Application) PendingRequests() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, r := range a.pending {
+		if !r.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Allocated returns the application's currently held resources.
+func (a *Application) Allocated() Resource {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allocated
+}
+
+// HeldContainers returns the number of containers currently held.
+func (a *Application) HeldContainers() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.containers)
+}
+
+// Release returns a container to the cluster. The container's work, if
+// any, is killed.
+func (a *Application) Release(c *Container) {
+	a.rm.stopContainer(c, StopReleased, false)
+}
+
+// Unregister releases everything the application holds and stops event
+// delivery. Call exactly once when the AM exits.
+func (a *Application) Unregister() {
+	a.mu.Lock()
+	if a.finished {
+		a.mu.Unlock()
+		return
+	}
+	a.finished = true
+	a.pending = nil
+	var held []*Container
+	for _, c := range a.containers {
+		held = append(held, c)
+	}
+	a.mu.Unlock()
+	for _, c := range held {
+		a.rm.stopContainer(c, StopReleased, false)
+	}
+	a.events.Close()
+	a.rm.removeApp(a.ID)
+}
+
+// removeContainerLocked detaches a container from the app's accounting.
+func (a *Application) removeContainer(c *Container) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.containers[c.ID]; ok {
+		delete(a.containers, c.ID)
+		a.allocated = a.allocated.Sub(c.Resource)
+	}
+}

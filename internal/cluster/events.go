@@ -1,0 +1,33 @@
+package cluster
+
+// Event is a resource-manager → application-master notification. An
+// application drains its event mailbox; events are never dropped and never
+// block the RM.
+type Event interface{ isClusterEvent() }
+
+// AllocatedEvent delivers a newly allocated container for a request.
+// Cookie is the request's cookie, so the AM can match it to the task that
+// asked for it.
+type AllocatedEvent struct {
+	Container *Container
+	Request   *ContainerRequest
+}
+
+// ContainerStoppedEvent reports that the platform terminated a container
+// involuntarily (preemption or node loss) or confirms a voluntary release.
+type ContainerStoppedEvent struct {
+	ContainerID ContainerID
+	Node        NodeID
+	Reason      StopReason
+}
+
+// NodeFailedEvent reports a node failure or decommission. AMs use it to
+// proactively re-execute tasks whose outputs lived there (§4.3).
+type NodeFailedEvent struct {
+	Node           NodeID
+	Decommissioned bool
+}
+
+func (AllocatedEvent) isClusterEvent()        {}
+func (ContainerStoppedEvent) isClusterEvent() {}
+func (NodeFailedEvent) isClusterEvent()       {}

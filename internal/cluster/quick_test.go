@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: any mix of requests whose total fits the cluster is fully
+// satisfied, and allocation never exceeds any node's capacity.
+func TestQuickAllRequestsSatisfiedWithinCapacity(t *testing.T) {
+	f := func(sizesRaw []uint8) bool {
+		if len(sizesRaw) > 24 {
+			sizesRaw = sizesRaw[:24]
+		}
+		cfg := Config{
+			Nodes:            4,
+			NodesPerRack:     2,
+			NodeResource:     Resource{MemoryMB: 8192, VCores: 64},
+			ScheduleInterval: 100 * time.Microsecond,
+		}
+		rm := New(cfg)
+		defer rm.Stop()
+		app := rm.Submit("quick")
+		defer app.Unregister()
+
+		// First-fit packing of items ≤ maxItem into B bins of size C is
+		// guaranteed to succeed when total ≤ B*(C-maxItem): keep headroom
+		// so the property tests the scheduler, not bin-packing theory.
+		const headroom = 4 * (8192 - 2048)
+		total := 0
+		want := 0
+		for _, raw := range sizesRaw {
+			mem := (int(raw%8) + 1) * 256 // 256..2048 MB
+			if total+mem > headroom {
+				continue
+			}
+			total += mem
+			want++
+			app.Request(&ContainerRequest{Resource: Resource{MemoryMB: mem, VCores: 1}})
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for app.HeldContainers() < want && time.Now().Before(deadline) {
+			time.Sleep(200 * time.Microsecond)
+		}
+		if app.HeldContainers() != want {
+			return false
+		}
+		// No node overcommitted.
+		used := rm.UsedResources()
+		return used.MemoryMB == total && used.MemoryMB <= rm.TotalResources().MemoryMB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,544 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tez/internal/mailbox"
+)
+
+// ResourceManager is the cluster-wide allocator: the stand-in for the YARN
+// RM. It owns the nodes, runs the scheduling heartbeat, and notifies
+// applications through their event mailboxes.
+type ResourceManager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	nodes    map[NodeID]*Node
+	nodeList []*Node // stable order for deterministic scheduling
+	apps     map[AppID]*Application
+	appOrder []AppID // submission order
+
+	nextContainer ContainerID
+	nextApp       AppID
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	lastPreempt time.Time
+}
+
+// New builds a cluster per cfg and starts the scheduling loop.
+func New(cfg Config) *ResourceManager {
+	cfg = cfg.withDefaults()
+	rm := &ResourceManager{
+		cfg:    cfg,
+		nodes:  make(map[NodeID]*Node),
+		apps:   make(map[AppID]*Application),
+		stopCh: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			ID:         NodeID(fmt.Sprintf("node-%03d", i)),
+			Rack:       fmt.Sprintf("rack-%02d", i/cfg.NodesPerRack),
+			capacity:   cfg.NodeResource,
+			live:       true,
+			containers: make(map[ContainerID]*Container),
+		}
+		rm.nodes[n.ID] = n
+		rm.nodeList = append(rm.nodeList, n)
+	}
+	rm.wg.Add(1)
+	go rm.loop()
+	return rm
+}
+
+// Stop halts the scheduler. Outstanding applications keep their containers;
+// Stop is for test/bench teardown.
+func (rm *ResourceManager) Stop() {
+	rm.stopOnce.Do(func() { close(rm.stopCh) })
+	rm.wg.Wait()
+}
+
+// Config returns the cluster configuration (after defaulting).
+func (rm *ResourceManager) Config() Config { return rm.cfg }
+
+// Nodes returns the ids of all nodes in stable order.
+func (rm *ResourceManager) Nodes() []NodeID {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	out := make([]NodeID, len(rm.nodeList))
+	for i, n := range rm.nodeList {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// RackOf returns the rack of a node ("" if unknown).
+func (rm *ResourceManager) RackOf(id NodeID) string {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if n, ok := rm.nodes[id]; ok {
+		return n.Rack
+	}
+	return ""
+}
+
+// TotalResources returns the live cluster capacity.
+func (rm *ResourceManager) TotalResources() Resource {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	var t Resource
+	for _, n := range rm.nodeList {
+		n.mu.Lock()
+		if n.live {
+			t = t.Add(n.capacity)
+		}
+		n.mu.Unlock()
+	}
+	return t
+}
+
+// UsedResources returns currently allocated resources across the cluster.
+func (rm *ResourceManager) UsedResources() Resource {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	var t Resource
+	for _, n := range rm.nodeList {
+		n.mu.Lock()
+		t = t.Add(n.used)
+		n.mu.Unlock()
+	}
+	return t
+}
+
+// AllocatedByApp snapshots per-application holdings (for utilisation
+// timelines, Figure 12).
+func (rm *ResourceManager) AllocatedByApp() map[string]Resource {
+	rm.mu.Lock()
+	apps := make([]*Application, 0, len(rm.apps))
+	for _, a := range rm.apps {
+		apps = append(apps, a)
+	}
+	rm.mu.Unlock()
+	out := make(map[string]Resource, len(apps))
+	for _, a := range apps {
+		out[a.Name] = a.Allocated()
+	}
+	return out
+}
+
+// Submit registers a new application and returns its handle.
+func (rm *ResourceManager) Submit(name string) *Application {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	rm.nextApp++
+	a := &Application{
+		ID:         rm.nextApp,
+		Name:       name,
+		rm:         rm,
+		events:     mailbox.New[Event](),
+		containers: make(map[ContainerID]*Container),
+	}
+	rm.apps[a.ID] = a
+	rm.appOrder = append(rm.appOrder, a.ID)
+	return a
+}
+
+func (rm *ResourceManager) removeApp(id AppID) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	delete(rm.apps, id)
+}
+
+// FailNode simulates losing a machine: its containers are killed with
+// StopNodeLost and every application is told about the node failure.
+// Wiring the same failure into the DFS and shuffle service is the job of
+// platform.Platform.
+func (rm *ResourceManager) FailNode(id NodeID) {
+	rm.failNode(id, false)
+}
+
+// DecommissionNode is a planned outage: same effects, flagged as planned.
+func (rm *ResourceManager) DecommissionNode(id NodeID) {
+	rm.failNode(id, true)
+}
+
+func (rm *ResourceManager) failNode(id NodeID, planned bool) {
+	rm.mu.Lock()
+	n, ok := rm.nodes[id]
+	if !ok {
+		rm.mu.Unlock()
+		return
+	}
+	n.mu.Lock()
+	n.live = false
+	victims := make([]*Container, 0, len(n.containers))
+	for _, c := range n.containers {
+		victims = append(victims, c)
+	}
+	n.mu.Unlock()
+	apps := make([]*Application, 0, len(rm.apps))
+	for _, a := range rm.apps {
+		apps = append(apps, a)
+	}
+	rm.mu.Unlock()
+
+	for _, c := range victims {
+		rm.stopContainer(c, StopNodeLost, true)
+	}
+	for _, a := range apps {
+		a.events.Put(NodeFailedEvent{Node: id, Decommissioned: planned})
+	}
+}
+
+// RestoreNode brings a failed node back (empty).
+func (rm *ResourceManager) RestoreNode(id NodeID) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if n, ok := rm.nodes[id]; ok {
+		n.mu.Lock()
+		n.live = true
+		n.used = Resource{}
+		n.containers = make(map[ContainerID]*Container)
+		n.mu.Unlock()
+	}
+}
+
+// stopContainer tears a container down for the given reason, returning its
+// resources to the node. notify controls whether the owner gets a
+// ContainerStoppedEvent (involuntary stops only; an app that called Release
+// already knows).
+func (rm *ResourceManager) stopContainer(c *Container, reason StopReason, notify bool) {
+	c.mu.Lock()
+	if c.released {
+		c.mu.Unlock()
+		return
+	}
+	c.released = true
+	close(c.stop)
+	c.mu.Unlock()
+
+	n := c.node
+	n.mu.Lock()
+	if _, ok := n.containers[c.ID]; ok {
+		delete(n.containers, c.ID)
+		n.used = n.used.Sub(c.Resource)
+	}
+	n.mu.Unlock()
+
+	rm.mu.Lock()
+	app := rm.apps[c.App]
+	rm.mu.Unlock()
+	if app != nil {
+		app.removeContainer(c)
+		if notify {
+			app.events.Put(ContainerStoppedEvent{ContainerID: c.ID, Node: n.ID, Reason: reason})
+		}
+	}
+}
+
+// ScheduleNow forces an immediate scheduling pass (deterministic tests).
+func (rm *ResourceManager) ScheduleNow() { rm.scheduleOnce() }
+
+func (rm *ResourceManager) loop() {
+	defer rm.wg.Done()
+	t := time.NewTicker(rm.cfg.ScheduleInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rm.stopCh:
+			return
+		case <-t.C:
+			rm.scheduleOnce()
+			if rm.cfg.FairPreemption {
+				rm.maybePreempt()
+			}
+		}
+	}
+}
+
+// scheduleOnce runs allocation passes until no progress: each pass orders
+// applications most-starved-first and grants each at most one container,
+// which approximates YARN fair scheduling.
+func (rm *ResourceManager) scheduleOnce() {
+	for {
+		if !rm.schedulePass() {
+			return
+		}
+	}
+}
+
+func (rm *ResourceManager) schedulePass() bool {
+	rm.mu.Lock()
+	apps := make([]*Application, 0, len(rm.apps))
+	for _, id := range rm.appOrder {
+		if a, ok := rm.apps[id]; ok {
+			apps = append(apps, a)
+		}
+	}
+	rm.mu.Unlock()
+
+	sort.SliceStable(apps, func(i, j int) bool {
+		return apps[i].Allocated().MemoryMB < apps[j].Allocated().MemoryMB
+	})
+
+	progress := false
+	for _, a := range apps {
+		if rm.scheduleOneFor(a) {
+			progress = true
+		}
+	}
+	return progress
+}
+
+// scheduleOneFor grants at most one container to app a, honouring request
+// priority order and delay scheduling. It reports whether it allocated.
+func (rm *ResourceManager) scheduleOneFor(a *Application) bool {
+	a.mu.Lock()
+	if a.finished {
+		a.mu.Unlock()
+		return false
+	}
+	// Compact cancelled requests and order by priority, stable on arrival.
+	live := a.pending[:0]
+	for _, r := range a.pending {
+		if !r.cancelled {
+			live = append(live, r)
+		}
+	}
+	a.pending = live
+	reqs := make([]*ContainerRequest, len(a.pending))
+	copy(reqs, a.pending)
+	a.mu.Unlock()
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Priority < reqs[j].Priority })
+
+	for _, req := range reqs {
+		node, loc, ok := rm.place(req)
+		if !ok {
+			continue
+		}
+		c := rm.allocate(a, req, node, loc)
+		if c == nil {
+			continue
+		}
+		a.events.Put(AllocatedEvent{Container: c, Request: req})
+		return true
+	}
+	return false
+}
+
+// place picks a node for the request per delay scheduling, or reports that
+// the request must wait this round.
+func (rm *ResourceManager) place(req *ContainerRequest) (*Node, Locality, bool) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+
+	fits := func(n *Node) bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return n.live && req.Resource.FitsIn(n.capacity.Sub(n.used))
+	}
+
+	hasNodePref := len(req.Nodes) > 0
+	hasRackPref := len(req.Racks) > 0 || hasNodePref
+
+	// Node-local.
+	if hasNodePref {
+		for _, id := range req.Nodes {
+			if n, ok := rm.nodes[id]; ok && fits(n) {
+				return n, LocalityNode, true
+			}
+		}
+		if !rm.cfg.DisableDelayScheduling {
+			if !req.RelaxLocality {
+				return nil, 0, false
+			}
+			if req.missedNode < rm.cfg.NodeLocalityDelay {
+				req.missedNode++
+				return nil, 0, false
+			}
+		}
+	}
+
+	// Rack-local: preferred racks plus the racks of preferred nodes.
+	if hasRackPref {
+		racks := map[string]bool{}
+		for _, r := range req.Racks {
+			racks[r] = true
+		}
+		for _, id := range req.Nodes {
+			if n, ok := rm.nodes[id]; ok {
+				racks[n.Rack] = true
+			}
+		}
+		var best *Node
+		for _, n := range rm.nodeList {
+			if racks[n.Rack] && fits(n) && (best == nil || moreAvailable(n, best)) {
+				best = n
+			}
+		}
+		if best != nil {
+			return best, LocalityRack, true
+		}
+		if !rm.cfg.DisableDelayScheduling {
+			if !req.RelaxLocality {
+				return nil, 0, false
+			}
+			if req.missedRack < rm.cfg.RackLocalityDelay {
+				req.missedRack++
+				return nil, 0, false
+			}
+		}
+	}
+
+	// Anywhere: least-loaded live node that fits.
+	var best *Node
+	for _, n := range rm.nodeList {
+		if fits(n) && (best == nil || moreAvailable(n, best)) {
+			best = n
+		}
+	}
+	if best != nil {
+		loc := LocalityAny
+		if !hasNodePref && !hasRackPref {
+			loc = LocalityAny
+		}
+		return best, loc, true
+	}
+	return nil, 0, false
+}
+
+func moreAvailable(a, b *Node) bool {
+	aa, ba := a.Available(), b.Available()
+	if aa.MemoryMB != ba.MemoryMB {
+		return aa.MemoryMB > ba.MemoryMB
+	}
+	return a.ID < b.ID
+}
+
+// allocate commits the placement: charges the node, registers the
+// container with the app, and removes the satisfied request.
+func (rm *ResourceManager) allocate(a *Application, req *ContainerRequest, n *Node, loc Locality) *Container {
+	rm.mu.Lock()
+	rm.nextContainer++
+	cid := rm.nextContainer
+	rm.mu.Unlock()
+
+	c := &Container{
+		ID:        cid,
+		App:       a.ID,
+		Resource:  req.Resource,
+		Locality:  loc,
+		node:      n,
+		rm:        rm,
+		stop:      make(chan struct{}),
+		allocTime: time.Now(),
+	}
+
+	n.mu.Lock()
+	if !n.live || !req.Resource.FitsIn(n.capacity.Sub(n.used)) {
+		n.mu.Unlock()
+		return nil
+	}
+	n.used = n.used.Add(req.Resource)
+	n.containers[c.ID] = c
+	n.mu.Unlock()
+
+	a.mu.Lock()
+	if a.finished {
+		a.mu.Unlock()
+		n.mu.Lock()
+		delete(n.containers, c.ID)
+		n.used = n.used.Sub(req.Resource)
+		n.mu.Unlock()
+		return nil
+	}
+	// Remove the satisfied request from pending.
+	for i, r := range a.pending {
+		if r == req {
+			a.pending = append(a.pending[:i], a.pending[i+1:]...)
+			break
+		}
+	}
+	a.containers[c.ID] = c
+	a.allocated = a.allocated.Add(req.Resource)
+	a.mu.Unlock()
+	return c
+}
+
+// maybePreempt enforces instantaneous fair share: when an application with
+// unmet demand sits below its share while another holds more than its
+// share, the newest containers of the over-share application are killed
+// with StopPreempted until shares balance.
+func (rm *ResourceManager) maybePreempt() {
+	rm.mu.Lock()
+	if time.Since(rm.lastPreempt) < rm.cfg.PreemptionInterval {
+		rm.mu.Unlock()
+		return
+	}
+	rm.lastPreempt = time.Now()
+	apps := make([]*Application, 0, len(rm.apps))
+	for _, id := range rm.appOrder {
+		if a, ok := rm.apps[id]; ok {
+			apps = append(apps, a)
+		}
+	}
+	rm.mu.Unlock()
+
+	type state struct {
+		app     *Application
+		held    int
+		pending int
+	}
+	var states []state
+	active := 0
+	totalMem := rm.TotalResources().MemoryMB
+	for _, a := range apps {
+		s := state{app: a, held: a.Allocated().MemoryMB, pending: a.PendingRequests()}
+		if s.held > 0 || s.pending > 0 {
+			active++
+		}
+		states = append(states, s)
+	}
+	if active < 2 || totalMem == 0 {
+		return
+	}
+	share := totalMem / active
+
+	var starved, over []state
+	for _, s := range states {
+		switch {
+		case s.pending > 0 && s.held < share:
+			starved = append(starved, s)
+		case s.held > share:
+			over = append(over, s)
+		}
+	}
+	if len(starved) == 0 || len(over) == 0 {
+		return
+	}
+	for _, s := range over {
+		excess := s.held - share
+		var victims []*Container
+		s.app.mu.Lock()
+		for _, c := range s.app.containers {
+			victims = append(victims, c)
+		}
+		s.app.mu.Unlock()
+		// Newest first: least sunk work lost.
+		sort.Slice(victims, func(i, j int) bool {
+			return victims[i].allocTime.After(victims[j].allocTime)
+		})
+		for _, c := range victims {
+			if excess <= 0 {
+				break
+			}
+			excess -= c.Resource.MemoryMB
+			rm.stopContainer(c, StopPreempted, true)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"tez/internal/plugin"
+)
+
+func proc() plugin.Descriptor { return plugin.Desc("test.proc", nil) }
+
+func kvEdge(m MovementType) EdgeProperty {
+	return EdgeProperty{
+		Movement: m,
+		Output:   plugin.Desc("test.out", nil),
+		Input:    plugin.Desc("test.in", nil),
+	}
+}
+
+func TestValidateHappyPath(t *testing.T) {
+	d := New("wordcount")
+	tok := d.AddVertex("tokenizer", proc(), 4)
+	sum := d.AddVertex("summation", proc(), 2)
+	d.Connect(tok, sum, kvEdge(ScatterGather))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "tokenizer" || order[1] != "summation" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	d := New("cyclic")
+	a := d.AddVertex("a", proc(), 1)
+	b := d.AddVertex("b", proc(), 1)
+	c := d.AddVertex("c", proc(), 1)
+	d.Connect(a, b, kvEdge(OneToOne))
+	d.Connect(b, c, kvEdge(OneToOne))
+	d.Connect(c, a, kvEdge(OneToOne))
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *DAG
+		want  string
+	}{
+		{"empty name", func() *DAG { return New("") }, "empty name"},
+		{"no vertices", func() *DAG { return New("d") }, "no vertices"},
+		{"dup vertex", func() *DAG {
+			d := New("d")
+			d.AddVertex("v", proc(), 1)
+			d.AddVertex("v", proc(), 1)
+			return d
+		}, "duplicate vertex"},
+		{"no processor", func() *DAG {
+			d := New("d")
+			d.AddVertex("v", plugin.Descriptor{}, 1)
+			return d
+		}, "no processor"},
+		{"bad parallelism", func() *DAG {
+			d := New("d")
+			d.AddVertex("v", proc(), 0)
+			return d
+		}, "invalid parallelism"},
+		{"self edge", func() *DAG {
+			d := New("d")
+			v := d.AddVertex("v", proc(), 1)
+			d.Connect(v, v, kvEdge(OneToOne))
+			return d
+		}, "self edge"},
+		{"dup edge", func() *DAG {
+			d := New("d")
+			a := d.AddVertex("a", proc(), 1)
+			b := d.AddVertex("b", proc(), 1)
+			d.Connect(a, b, kvEdge(OneToOne))
+			d.Connect(a, b, kvEdge(Broadcast))
+			return d
+		}, "duplicate edge"},
+		{"missing transport", func() *DAG {
+			d := New("d")
+			a := d.AddVertex("a", proc(), 1)
+			b := d.AddVertex("b", proc(), 1)
+			d.Connect(a, b, EdgeProperty{Movement: OneToOne})
+			return d
+		}, "missing transport"},
+		{"custom without manager", func() *DAG {
+			d := New("d")
+			a := d.AddVertex("a", proc(), 1)
+			b := d.AddVertex("b", proc(), 1)
+			d.Connect(a, b, kvEdge(CustomMovement))
+			return d
+		}, "no edge manager"},
+		{"one-to-one mismatch", func() *DAG {
+			d := New("d")
+			a := d.AddVertex("a", proc(), 2)
+			b := d.AddVertex("b", proc(), 3)
+			d.Connect(a, b, kvEdge(OneToOne))
+			return d
+		}, "one-to-one"},
+		{"source without input", func() *DAG {
+			d := New("d")
+			v := d.AddVertex("v", proc(), 1)
+			v.Sources = append(v.Sources, DataSource{Name: "s"})
+			return d
+		}, "no input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build().Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	d := New("diamond")
+	a := d.AddVertex("a", proc(), 1)
+	b := d.AddVertex("b", proc(), 1)
+	c := d.AddVertex("c", proc(), 1)
+	e := d.AddVertex("e", proc(), 1)
+	d.Connect(a, b, kvEdge(Broadcast))
+	d.Connect(a, c, kvEdge(Broadcast))
+	d.Connect(b, e, kvEdge(ScatterGather))
+	d.Connect(c, e, kvEdge(ScatterGather))
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, edge := range d.Edges {
+		if pos[edge.From] >= pos[edge.To] {
+			t.Fatalf("topo order violates edge %s->%s: %v", edge.From, edge.To, order)
+		}
+	}
+}
+
+func TestInOutEdges(t *testing.T) {
+	d := New("d")
+	a := d.AddVertex("a", proc(), 1)
+	b := d.AddVertex("b", proc(), 1)
+	c := d.AddVertex("c", proc(), 1)
+	d.Connect(a, c, kvEdge(Broadcast))
+	d.Connect(b, c, kvEdge(Broadcast))
+	if got := len(d.InEdges("c")); got != 2 {
+		t.Fatalf("InEdges(c) = %d", got)
+	}
+	if got := len(d.OutEdges("a")); got != 1 {
+		t.Fatalf("OutEdges(a) = %d", got)
+	}
+	if d.Vertex("b") == nil || d.Vertex("zz") != nil {
+		t.Fatal("Vertex lookup wrong")
+	}
+}

@@ -1,0 +1,63 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: random forward-edge DAGs always validate and their topological
+// order respects every edge; adding any back edge makes validation fail.
+func TestQuickRandomDAGTopo(t *testing.T) {
+	f := func(seed int64, nRaw, eRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%8) + 2
+		d := New("rand")
+		verts := make([]*Vertex, n)
+		for i := 0; i < n; i++ {
+			verts[i] = d.AddVertex(fmt.Sprintf("v%d", i), proc(), 1+rng.Intn(4))
+		}
+		// Forward edges only (i < j) — guaranteed acyclic; dedupe pairs.
+		seen := map[[2]int]bool{}
+		for k := 0; k < int(eRaw%12); k++ {
+			i := rng.Intn(n - 1)
+			j := i + 1 + rng.Intn(n-i-1)
+			if seen[[2]int{i, j}] {
+				continue
+			}
+			seen[[2]int{i, j}] = true
+			d.Connect(verts[i], verts[j], kvEdge(ScatterGather))
+		}
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		order, err := d.TopoOrder()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := map[string]int{}
+		for i, name := range order {
+			pos[name] = i
+		}
+		for _, e := range d.Edges {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		// A back edge (j -> i with i < j, both already connected forward or
+		// not) must create a cycle whenever it closes a path; the simplest
+		// guaranteed cycle is reversing an existing edge.
+		if len(d.Edges) > 0 {
+			e := d.Edges[rng.Intn(len(d.Edges))]
+			d.Connect(d.Vertex(e.To), d.Vertex(e.From), kvEdge(Broadcast))
+			if err := d.Validate(); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package data generates the deterministic synthetic datasets used to
+// reproduce the paper's evaluation at laptop scale: TPC-H-shaped tables
+// (Figure 9), TPC-DS-shaped star-schema tables (Figure 8), skewed ETL
+// inputs (Figure 10), and K-means points (Figure 11). Real benchmark data
+// at 10–30 TB is out of reach here; the generators preserve the schema
+// shapes, key relationships and skew characteristics the experiments
+// depend on.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tez/internal/dfs"
+	"tez/internal/relop"
+	"tez/internal/row"
+)
+
+// TPCH holds the generated TPC-H-shaped tables.
+type TPCH struct {
+	Lineitem *relop.Table // orderkey, partkey, suppkey, quantity, extendedprice, discount, tax, returnflag, linestatus, shipdate
+	Orders   *relop.Table // orderkey, custkey, orderstatus, totalprice, orderdate, shippriority
+	Customer *relop.Table // custkey, name, mktsegment, nationkey
+	Part     *relop.Table // partkey, name, brand, type
+	Supplier *relop.Table // suppkey, name, nationkey
+	Nation   *relop.Table // nationkey, name, regionkey
+}
+
+// Tables lists all TPC-H tables.
+func (t *TPCH) Tables() []*relop.Table {
+	return []*relop.Table{t.Lineitem, t.Orders, t.Customer, t.Part, t.Supplier, t.Nation}
+}
+
+var (
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	flags      = []string{"A", "N", "R"}
+	statuses   = []string{"O", "F"}
+	brands     = []string{"Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"}
+	nationList = []string{"FRANCE", "GERMANY", "JAPAN", "BRAZIL", "KENYA", "PERU", "CHINA", "INDIA"}
+)
+
+// GenTPCH generates roughly `orders` orders with ~4 lineitems each.
+// Dates are integers 19920101..19981231-ish (yyyymmdd).
+func GenTPCH(fs *dfs.FileSystem, orders int, seed int64) (*TPCH, error) {
+	rng := rand.New(rand.NewSource(seed))
+	customers := orders/10 + 5
+	parts := orders/5 + 10
+	supps := orders/20 + 5
+
+	t := &TPCH{
+		Lineitem: &relop.Table{Name: "lineitem", Schema: row.NewSchema(
+			"l_orderkey:int", "l_partkey:int", "l_suppkey:int", "l_quantity:int",
+			"l_extendedprice:float", "l_discount:float", "l_tax:float",
+			"l_returnflag", "l_linestatus", "l_shipdate:int")},
+		Orders: &relop.Table{Name: "orders", Schema: row.NewSchema(
+			"o_orderkey:int", "o_custkey:int", "o_orderstatus", "o_totalprice:float",
+			"o_orderdate:int", "o_shippriority:int")},
+		Customer: &relop.Table{Name: "customer", Schema: row.NewSchema(
+			"c_custkey:int", "c_name", "c_mktsegment", "c_nationkey:int")},
+		Part: &relop.Table{Name: "part", Schema: row.NewSchema(
+			"p_partkey:int", "p_name", "p_brand", "p_type")},
+		Supplier: &relop.Table{Name: "supplier", Schema: row.NewSchema(
+			"s_suppkey:int", "s_name", "s_nationkey:int")},
+		Nation: &relop.Table{Name: "nation", Schema: row.NewSchema(
+			"n_nationkey:int", "n_name", "n_regionkey:int")},
+	}
+
+	date := func() int64 {
+		y := 1992 + rng.Intn(7)
+		m := 1 + rng.Intn(12)
+		d := 1 + rng.Intn(28)
+		return int64(y*10000 + m*100 + d)
+	}
+
+	var custRows []row.Row
+	for c := 0; c < customers; c++ {
+		custRows = append(custRows, row.Row{
+			row.Int(int64(c)),
+			row.String(fmt.Sprintf("Customer#%06d", c)),
+			row.String(segments[rng.Intn(len(segments))]),
+			row.Int(int64(rng.Intn(len(nationList)))),
+		})
+	}
+	var partRows []row.Row
+	for p := 0; p < parts; p++ {
+		partRows = append(partRows, row.Row{
+			row.Int(int64(p)),
+			row.String(fmt.Sprintf("part-%05d", p)),
+			row.String(brands[rng.Intn(len(brands))]),
+			row.String(fmt.Sprintf("TYPE%d", rng.Intn(10))),
+		})
+	}
+	var suppRows []row.Row
+	for s := 0; s < supps; s++ {
+		suppRows = append(suppRows, row.Row{
+			row.Int(int64(s)),
+			row.String(fmt.Sprintf("Supplier#%04d", s)),
+			row.Int(int64(rng.Intn(len(nationList)))),
+		})
+	}
+	var nationRows []row.Row
+	for n, name := range nationList {
+		nationRows = append(nationRows, row.Row{row.Int(int64(n)), row.String(name), row.Int(int64(n % 3))})
+	}
+
+	var orderRows, lineRows []row.Row
+	for o := 0; o < orders; o++ {
+		cust := rng.Intn(customers)
+		odate := date()
+		lines := 1 + rng.Intn(7)
+		var total float64
+		for l := 0; l < lines; l++ {
+			qty := 1 + rng.Intn(50)
+			price := float64(1000+rng.Intn(90000)) / 100
+			disc := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			total += float64(qty) * price
+			lineRows = append(lineRows, row.Row{
+				row.Int(int64(o)),
+				row.Int(int64(rng.Intn(parts))),
+				row.Int(int64(rng.Intn(supps))),
+				row.Int(int64(qty)),
+				row.Float(float64(qty) * price),
+				row.Float(disc),
+				row.Float(tax),
+				row.String(flags[rng.Intn(len(flags))]),
+				row.String(statuses[rng.Intn(len(statuses))]),
+				row.Int(odate + int64(rng.Intn(60))),
+			})
+		}
+		orderRows = append(orderRows, row.Row{
+			row.Int(int64(o)),
+			row.Int(int64(cust)),
+			row.String(statuses[rng.Intn(len(statuses))]),
+			row.Float(total),
+			row.Int(odate),
+			row.Int(int64(rng.Intn(3))),
+		})
+	}
+
+	shards := orders/200 + 2
+	for _, w := range []struct {
+		t    *relop.Table
+		rows []row.Row
+		sh   int
+	}{
+		{t.Lineitem, lineRows, shards},
+		{t.Orders, orderRows, shards},
+		{t.Customer, custRows, 2},
+		{t.Part, partRows, 2},
+		{t.Supplier, suppRows, 1},
+		{t.Nation, nationRows, 1},
+	} {
+		if err := relop.WriteTable(fs, w.t, w.sh, w.rows); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// TPCDS holds the generated TPC-DS-shaped star schema.
+type TPCDS struct {
+	StoreSales *relop.Table // sold_date_sk, item_sk, store_sk, customer_sk, quantity, sales_price
+	DateDim    *relop.Table // date_sk, year, moy
+	Item       *relop.Table // item_sk, brand_id, brand, category, manufact_id
+	Store      *relop.Table // store_sk, store_name, state
+	// StoreSalesPartitioned is the same fact data partitioned by
+	// sold_date_sk month for the dynamic-partition-pruning experiments.
+	StoreSalesPartitioned *relop.Table
+}
+
+// Tables lists all TPC-DS tables.
+func (t *TPCDS) Tables() []*relop.Table {
+	return []*relop.Table{t.StoreSales, t.DateDim, t.Item, t.Store, t.StoreSalesPartitioned}
+}
+
+// GenTPCDS generates a star schema with `sales` fact rows.
+func GenTPCDS(fs *dfs.FileSystem, sales int, seed int64) (*TPCDS, error) {
+	rng := rand.New(rand.NewSource(seed))
+	items := sales/20 + 10
+	stores := 10
+	dates := 24 // 2 years of months
+
+	t := &TPCDS{
+		StoreSales: &relop.Table{Name: "store_sales", Schema: row.NewSchema(
+			"ss_sold_date_sk:int", "ss_item_sk:int", "ss_store_sk:int",
+			"ss_customer_sk:int", "ss_quantity:int", "ss_sales_price:float")},
+		DateDim: &relop.Table{Name: "date_dim", Schema: row.NewSchema(
+			"d_date_sk:int", "d_year:int", "d_moy:int")},
+		Item: &relop.Table{Name: "item", Schema: row.NewSchema(
+			"i_item_sk:int", "i_brand_id:int", "i_brand", "i_category", "i_manufact_id:int")},
+		Store: &relop.Table{Name: "store", Schema: row.NewSchema(
+			"s_store_sk:int", "s_store_name", "s_state")},
+	}
+
+	var dateRows []row.Row
+	for d := 0; d < dates; d++ {
+		dateRows = append(dateRows, row.Row{
+			row.Int(int64(d)), row.Int(int64(1998 + d/12)), row.Int(int64(d%12 + 1)),
+		})
+	}
+	cats := []string{"Books", "Music", "Sports", "Home", "Electronics"}
+	var itemRows []row.Row
+	for i := 0; i < items; i++ {
+		itemRows = append(itemRows, row.Row{
+			row.Int(int64(i)),
+			row.Int(int64(rng.Intn(100))),
+			row.String(fmt.Sprintf("brand-%02d", rng.Intn(20))),
+			row.String(cats[rng.Intn(len(cats))]),
+			row.Int(int64(rng.Intn(50))),
+		})
+	}
+	states := []string{"CA", "TX", "NY", "WA"}
+	var storeRows []row.Row
+	for s := 0; s < stores; s++ {
+		storeRows = append(storeRows, row.Row{
+			row.Int(int64(s)),
+			row.String(fmt.Sprintf("store-%02d", s)),
+			row.String(states[rng.Intn(len(states))]),
+		})
+	}
+	var salesRows []row.Row
+	for n := 0; n < sales; n++ {
+		salesRows = append(salesRows, row.Row{
+			row.Int(int64(rng.Intn(dates))),
+			row.Int(int64(rng.Intn(items))),
+			row.Int(int64(rng.Intn(stores))),
+			row.Int(int64(rng.Intn(sales/5 + 10))),
+			row.Int(int64(1 + rng.Intn(20))),
+			row.Float(float64(100+rng.Intn(9900)) / 100),
+		})
+	}
+
+	shards := sales/200 + 2
+	if err := relop.WriteTable(fs, t.StoreSales, shards, salesRows); err != nil {
+		return nil, err
+	}
+	if err := relop.WriteTable(fs, t.DateDim, 1, dateRows); err != nil {
+		return nil, err
+	}
+	if err := relop.WriteTable(fs, t.Item, 2, itemRows); err != nil {
+		return nil, err
+	}
+	if err := relop.WriteTable(fs, t.Store, 1, storeRows); err != nil {
+		return nil, err
+	}
+	t.StoreSalesPartitioned = &relop.Table{Name: "store_sales_p", Schema: t.StoreSales.Schema}
+	if err := relop.WritePartitionedTable(fs, t.StoreSalesPartitioned, 0, salesRows); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// GenZipfPairs generates (key, value) rows with Zipf-skewed keys — the
+// shape of production ETL group/join inputs (Figure 10) and the input of
+// the Pig skew-join path.
+func GenZipfPairs(fs *dfs.FileSystem, name string, n, keys int, skew float64, seed int64) (*relop.Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, skew, 1, uint64(keys-1))
+	t := &relop.Table{Name: name, Schema: row.NewSchema("k:int", "v:int")}
+	rows := make([]row.Row, n)
+	for i := range rows {
+		rows[i] = row.Row{row.Int(int64(z.Uint64())), row.Int(int64(i))}
+	}
+	return t, relop.WriteTable(fs, t, n/5000+2, rows)
+}
+
+// GenUniquePairs generates one (k, v) row per key 0..keys-1 — the
+// dimension/profile side of a foreign-key join.
+func GenUniquePairs(fs *dfs.FileSystem, name string, keys int, seed int64) (*relop.Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t := &relop.Table{Name: name, Schema: row.NewSchema("k:int", "v:int")}
+	rows := make([]row.Row, keys)
+	for i := range rows {
+		rows[i] = row.Row{row.Int(int64(i)), row.Int(rng.Int63n(1 << 20))}
+	}
+	return t, relop.WriteTable(fs, t, keys/2000+1, rows)
+}
+
+// GenPoints generates 2-D K-means points around k true centroids; the
+// returned table has columns (x, y).
+func GenPoints(fs *dfs.FileSystem, name string, n, k int, seed int64) (*relop.Table, [][2]float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][2]float64, k)
+	for i := range centers {
+		centers[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	rows := make([]row.Row, n)
+	for i := range rows {
+		c := centers[rng.Intn(k)]
+		rows[i] = row.Row{
+			row.Float(c[0] + rng.NormFloat64()*3),
+			row.Float(c[1] + rng.NormFloat64()*3),
+		}
+	}
+	t := &relop.Table{Name: name, Schema: row.NewSchema("x:float", "y:float")}
+	return t, centers, relop.WriteTable(fs, t, n/1000+1, rows)
+}

@@ -1,0 +1,244 @@
+package library
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []struct{ k, v string }{
+		{"key", "value"},
+		{"", "value"},
+		{"key", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		buf := AppendRecord(nil, []byte(c.k), []byte(c.v))
+		if len(buf) != RecordSize([]byte(c.k), []byte(c.v)) {
+			t.Fatalf("RecordSize mismatch for %q/%q", c.k, c.v)
+		}
+		k, v, n, err := DecodeRecord(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("decode %q/%q: n=%d err=%v", c.k, c.v, n, err)
+		}
+		if string(k) != c.k || string(v) != c.v {
+			t.Fatalf("decode got %q/%q", k, v)
+		}
+	}
+}
+
+func TestDecodePaddingAndEmpty(t *testing.T) {
+	if _, _, n, err := DecodeRecord(nil); n != 0 || err != nil {
+		t.Fatalf("empty: n=%d err=%v", n, err)
+	}
+	if _, _, n, err := DecodeRecord([]byte{0x00, 0xFF}); n != 0 || err != nil {
+		t.Fatalf("padding: n=%d err=%v", n, err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	// Header says 10-byte key but buffer is short.
+	buf := []byte{11, 'a', 'b'}
+	if _, _, _, err := DecodeRecord(buf); err == nil {
+		t.Fatal("truncated key accepted")
+	}
+}
+
+func TestBufferReaderStream(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 100; i++ {
+		buf = AppendRecord(buf, []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	r := NewBufferReader(buf)
+	n := 0
+	for r.Next() {
+		if string(r.Key()) != fmt.Sprintf("k%03d", n) {
+			t.Fatalf("record %d key %q", n, r.Key())
+		}
+		n++
+	}
+	if r.Err() != nil || n != 100 {
+		t.Fatalf("n=%d err=%v", n, r.Err())
+	}
+	if cnt, err := CountRecords(buf); err != nil || cnt != 100 {
+		t.Fatalf("CountRecords = %d, %v", cnt, err)
+	}
+}
+
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(pairs [][2][]byte) bool {
+		var buf []byte
+		for _, p := range pairs {
+			buf = AppendRecord(buf, p[0], p[1])
+		}
+		r := NewBufferReader(buf)
+		for _, p := range pairs {
+			if !r.Next() {
+				return false
+			}
+			if !bytes.Equal(r.Key(), p[0]) || !bytes.Equal(r.Value(), p[1]) {
+				return false
+			}
+		}
+		return !r.Next() && r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPartitionerRangeAndDeterminism(t *testing.T) {
+	p := HashPartitioner{}
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		got := p.Partition(k, 7)
+		if got < 0 || got >= 7 {
+			t.Fatalf("partition %d out of range", got)
+		}
+		if got != p.Partition(k, 7) {
+			t.Fatal("non-deterministic")
+		}
+	}
+	if p.Partition([]byte("x"), 1) != 0 {
+		t.Fatal("single partition must be 0")
+	}
+}
+
+func TestHashPartitionerSpreads(t *testing.T) {
+	p := HashPartitioner{}
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		counts[p.Partition([]byte(fmt.Sprintf("key-%d", i)), 8)]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("partition %d holds %d of 8000 (badly skewed)", i, c)
+		}
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	rp := &RangePartitioner{Points: [][]byte{[]byte("g"), []byte("p")}}
+	cases := map[string]int{"a": 0, "g": 0, "h": 1, "p": 1, "q": 2, "zz": 2}
+	for k, want := range cases {
+		if got := rp.Partition([]byte(k), 3); got != want {
+			t.Fatalf("Partition(%q) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// Property: range partitioning respects ordering — if k1 <= k2 then
+// partition(k1) <= partition(k2).
+func TestQuickRangePartitionerMonotone(t *testing.T) {
+	f := func(keys [][]byte, a, b []byte) bool {
+		pts := SplitPoints(sortedCopy(keys), 4)
+		rp := &RangePartitioner{Points: pts}
+		if bytes.Compare(a, b) > 0 {
+			a, b = b, a
+		}
+		return rp.Partition(a, len(pts)+1) <= rp.Partition(b, len(pts)+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortedCopy(keys [][]byte) [][]byte {
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		out[i] = append([]byte(nil), k...)
+	}
+	sortBytes(out)
+	return out
+}
+
+func sortBytes(b [][]byte) {
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && bytes.Compare(b[j], b[j-1]) < 0; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}
+
+func TestSplitPointsBalanced(t *testing.T) {
+	var sample [][]byte
+	for i := 0; i < 100; i++ {
+		sample = append(sample, []byte(fmt.Sprintf("%04d", i)))
+	}
+	pts := SplitPoints(sample, 4)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	rp := &RangePartitioner{Points: pts}
+	counts := make([]int, 4)
+	for _, k := range sample {
+		counts[rp.Partition(k, 4)]++
+	}
+	for i, c := range counts {
+		if c < 15 || c > 40 {
+			t.Fatalf("range %d holds %d of 100", i, c)
+		}
+	}
+}
+
+func TestMergeAndGroup(t *testing.T) {
+	runA := encodePairs([]pair{{[]byte("a"), []byte("1")}, {[]byte("c"), []byte("2")}})
+	runB := encodePairs([]pair{{[]byte("a"), []byte("3")}, {[]byte("b"), []byte("4")}})
+	runC := []byte{} // empty run
+	g := newGroupedReader(newMergeReader([][]byte{runA, runB, runC}))
+	type group struct {
+		key  string
+		vals int
+	}
+	var got []group
+	for g.Next() {
+		got = append(got, group{string(g.Key()), len(g.Values())})
+	}
+	if g.Err() != nil {
+		t.Fatal(g.Err())
+	}
+	want := []group{{"a", 2}, {"b", 1}, {"c", 1}}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("group %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: merging sorted runs yields a globally sorted stream containing
+// every pair exactly once.
+func TestQuickMergeSorted(t *testing.T) {
+	f := func(raw [][]uint16) bool {
+		var runs [][]byte
+		total := 0
+		for _, rw := range raw {
+			ps := make([]pair, 0, len(rw))
+			for _, x := range rw {
+				k := []byte(fmt.Sprintf("%05d", x))
+				ps = append(ps, pair{k, []byte("v")})
+			}
+			sortPairs(ps)
+			total += len(ps)
+			runs = append(runs, encodePairs(ps))
+		}
+		m := newMergeReader(runs)
+		var prev []byte
+		n := 0
+		for m.Next() {
+			if prev != nil && bytes.Compare(m.Key(), prev) < 0 {
+				return false
+			}
+			prev = append(prev[:0], m.Key()...)
+			n++
+		}
+		return m.Err() == nil && n == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,448 @@
+package library
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"tez/internal/dfs"
+	"tez/internal/event"
+	"tez/internal/plugin"
+	"tez/internal/runtime"
+	"tez/internal/shuffle"
+)
+
+func testServices(t *testing.T) runtime.Services {
+	t.Helper()
+	fs := dfs.New(dfs.Config{BlockSize: 256, Replication: 2})
+	sh := shuffle.New(shuffle.Config{})
+	for i := 0; i < 3; i++ {
+		n := fmt.Sprintf("n%d", i)
+		fs.AddNode(n, "r0")
+		sh.AddNode(n, "r0")
+	}
+	return runtime.Services{FS: fs, Shuffle: sh, Node: "n0", Registry: runtime.NewObjectRegistry()}
+}
+
+func ctxFor(svc runtime.Services, meta runtime.Meta, name string, payload []byte, phys int) *runtime.Context {
+	return &runtime.Context{
+		Meta:          meta,
+		Services:      svc,
+		Payload:       payload,
+		Name:          name,
+		PhysicalCount: phys,
+		Emit:          func(event.Event) {},
+		Stop:          make(chan struct{}),
+	}
+}
+
+// runProducer runs an OrderedPartitionedKVOutput for one source task and
+// returns its emitted events.
+func runProducer(t *testing.T, svc runtime.Services, task, parts int, pairs map[string]string) []event.Event {
+	t.Helper()
+	out := &OrderedPartitionedKVOutput{}
+	meta := runtime.Meta{DAG: "d", Vertex: "map", Task: task, Attempt: 0}
+	if err := out.Initialize(ctxFor(svc, meta, "red", nil, parts)); err != nil {
+		t.Fatal(err)
+	}
+	wAny, err := out.Writer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wAny.(runtime.KVWriter)
+	for k, v := range pairs {
+		if err := w.Write([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := out.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestOrderedShuffleEndToEnd(t *testing.T) {
+	svc := testServices(t)
+	const srcTasks, parts = 3, 2
+	var all []event.Event
+	for s := 0; s < srcTasks; s++ {
+		all = append(all, runProducer(t, svc, s, parts, map[string]string{
+			fmt.Sprintf("key-%d", s): "x",
+			"shared":                 fmt.Sprintf("s%d", s),
+		})...)
+	}
+	var dms []event.DataMovement
+	stats := 0
+	for _, ev := range all {
+		switch e := ev.(type) {
+		case event.DataMovement:
+			dms = append(dms, e)
+		case event.VertexManagerEvent:
+			stats++
+			var vs VMStats
+			if err := plugin.Decode(e.Payload, &vs); err != nil {
+				t.Fatal(err)
+			}
+			if len(vs.PartitionSizes) != parts {
+				t.Fatalf("stats partitions = %d", len(vs.PartitionSizes))
+			}
+		}
+	}
+	if len(dms) != srcTasks*parts || stats != srcTasks {
+		t.Fatalf("events: %d movements, %d stats", len(dms), stats)
+	}
+
+	// Consumer task reads partition p from every source: simulate routing
+	// for dest task 0 (partition 0), input index = srcTask.
+	in := &OrderedGroupedKVInput{}
+	meta := runtime.Meta{DAG: "d", Vertex: "red", Task: 0, Attempt: 0}
+	ctx := ctxFor(svc, meta, "map", nil, srcTasks)
+	if err := in.Initialize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, dm := range dms {
+		if dm.SrcOutputIndex != 0 {
+			continue
+		}
+		dm.TargetVertex = "red"
+		dm.TargetTask = 0
+		dm.TargetInput = "map"
+		dm.TargetInputIndex = dm.SrcTask
+		if err := in.HandleEvent(dm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rAny, err := in.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rAny.(runtime.GroupedKVReader)
+	groups := map[string]int{}
+	var prev string
+	for g.Next() {
+		k := string(g.Key())
+		if prev != "" && k < prev {
+			t.Fatalf("keys out of order: %q after %q", k, prev)
+		}
+		prev = k
+		groups[k] = len(g.Values())
+	}
+	if g.Err() != nil {
+		t.Fatal(g.Err())
+	}
+	// "shared" hashes to some partition; whichever keys landed on
+	// partition 0 must have all their values grouped.
+	hp := HashPartitioner{}
+	want := map[string]int{}
+	for s := 0; s < srcTasks; s++ {
+		for _, k := range []string{fmt.Sprintf("key-%d", s), "shared"} {
+			if hp.Partition([]byte(k), parts) == 0 {
+				want[k]++
+			}
+		}
+	}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %v, want keys %v", groups, want)
+	}
+	for k, n := range want {
+		if groups[k] != n {
+			t.Fatalf("group %q has %d values, want %d", k, groups[k], n)
+		}
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupedInputReportsDataLoss(t *testing.T) {
+	svc := testServices(t)
+	in := &OrderedGroupedKVInput{}
+	meta := runtime.Meta{DAG: "d", Vertex: "red", Task: 0}
+	ctx := ctxFor(svc, meta, "map", nil, 1)
+	if err := in.Initialize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// DataMovement referencing an output that was never registered.
+	dm := event.DataMovement{
+		SrcVertex: "map", SrcTask: 2, SrcAttempt: 1,
+		TargetInput: "map", TargetInputIndex: 0,
+		Payload: plugin.MustEncode(DMInfo{
+			ID: shuffle.OutputID{DAG: "d", Vertex: "map", Task: 2, Attempt: 1},
+		}),
+	}
+	if err := in.HandleEvent(dm); err != nil {
+		t.Fatal(err)
+	}
+	_, err := in.Reader()
+	ire, ok := runtime.AsInputReadError(err)
+	if !ok {
+		t.Fatalf("err = %v, want InputReadError", err)
+	}
+	if ire.SrcVertex != "map" || ire.SrcTask != 2 || ire.SrcAttempt != 1 {
+		t.Fatalf("producer info = %+v", ire)
+	}
+	if !errors.Is(err, shuffle.ErrDataLost) {
+		t.Fatalf("cause = %v", err)
+	}
+	_ = in.Close()
+}
+
+func TestInputFailedRetractionThenReplacement(t *testing.T) {
+	svc := testServices(t)
+	// Register attempt 0 and attempt 1 outputs with different data.
+	id0 := shuffle.OutputID{DAG: "d", Vertex: "map", Task: 0, Attempt: 0}
+	id1 := shuffle.OutputID{DAG: "d", Vertex: "map", Task: 0, Attempt: 1}
+	_ = svc.Shuffle.Register("n1", id0, [][]byte{encodePairs([]pair{{[]byte("old"), []byte("0")}})})
+	_ = svc.Shuffle.Register("n2", id1, [][]byte{encodePairs([]pair{{[]byte("new"), []byte("1")}})})
+
+	in := &UnorderedKVInput{}
+	ctx := ctxFor(svc, runtime.Meta{DAG: "d", Vertex: "red"}, "map", nil, 1)
+	if err := in.Initialize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id shuffle.OutputID, attempt int) event.DataMovement {
+		return event.DataMovement{
+			SrcVertex: "map", SrcTask: 0, SrcAttempt: attempt,
+			TargetInput: "map", TargetInputIndex: 0,
+			Payload: plugin.MustEncode(DMInfo{ID: id}),
+		}
+	}
+	if err := in.HandleEvent(mk(id0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first fetch to land, then retract and replace.
+	r1, err := in.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := r1.(runtime.KVReader)
+	if !kv.Next() || string(kv.Key()) != "old" {
+		t.Fatal("first read should see attempt 0 data")
+	}
+	if err := in.HandleEvent(event.InputFailed{TargetInputIndex: 0, SrcTask: 0, SrcAttempt: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.HandleEvent(mk(id1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := in.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv2 := r2.(runtime.KVReader)
+	if !kv2.Next() || string(kv2.Key()) != "new" {
+		t.Fatalf("replacement not fetched; key=%q", kv2.Key())
+	}
+	_ = in.Close()
+}
+
+func TestRecordFileWriteSplitRead(t *testing.T) {
+	svc := testServices(t)
+	const blockSize = 256
+	w, err := CreateRecordFile(svc.FS, "/data/t", "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := w.Write([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != n {
+		t.Fatalf("Records = %d", w.Records())
+	}
+	splits, err := svc.FS.Splits("/data/t", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) < 2 {
+		t.Fatalf("expected multiple splits, got %d", len(splits))
+	}
+	// Read via splitRecordReader across all splits: every record, in order.
+	r := &splitRecordReader{fs: svc.FS, node: "n0", splits: splits}
+	i := 0
+	for r.Next() {
+		if string(r.Key()) != fmt.Sprintf("k%04d", i) {
+			t.Fatalf("record %d key %q", i, r.Key())
+		}
+		i++
+	}
+	if r.Err() != nil || i != n {
+		t.Fatalf("read %d records, err=%v", i, r.Err())
+	}
+}
+
+func TestRecordFileRejectsHugeRecord(t *testing.T) {
+	svc := testServices(t)
+	w, err := CreateRecordFile(svc.FS, "/data/big", "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(make([]byte, 10000), nil); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestDFSSinkAndCommitter(t *testing.T) {
+	svc := testServices(t)
+	sinkCfg := plugin.MustEncode(DFSSinkConfig{Path: "/out"})
+	writeAttempt := func(task, attempt int, val string) {
+		out := &DFSSinkOutput{}
+		meta := runtime.Meta{DAG: "d", Vertex: "v", Task: task, Attempt: attempt}
+		if err := out.Initialize(ctxFor(svc, meta, "sink", sinkCfg, 0)); err != nil {
+			t.Fatal(err)
+		}
+		wAny, _ := out.Writer()
+		_ = wAny.(runtime.KVWriter).Write([]byte("k"), []byte(val))
+		if _, err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeAttempt(0, 0, "t0a0")
+	writeAttempt(1, 0, "t1a0-failed")
+	writeAttempt(1, 1, "t1a1")
+
+	c := DFSCommitter{}
+	err := c.Commit(&runtime.CommitContext{
+		DAG: "d", Vertex: "v", Sink: "sink",
+		Payload: sinkCfg, FS: svc.FS,
+		Parallelism:       2,
+		SuccessfulAttempt: map[int]int{0: 0, 1: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := svc.FS.List("/out/part-")
+	if len(files) != 2 {
+		t.Fatalf("committed files = %v", files)
+	}
+	data, err := svc.FS.ReadFile(FinalPath("/out", 1), "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewBufferReader(data)
+	if !r.Next() || string(r.Value()) != "t1a1" {
+		t.Fatalf("committed wrong attempt: %q", r.Value())
+	}
+	if got := svc.FS.List("/out/.tmp/"); len(got) != 0 {
+		t.Fatalf("temp files left: %v", got)
+	}
+}
+
+func TestCommitterMissingAttemptFails(t *testing.T) {
+	svc := testServices(t)
+	c := DFSCommitter{}
+	err := c.Commit(&runtime.CommitContext{
+		Payload: plugin.MustEncode(DFSSinkConfig{Path: "/out"}), FS: svc.FS,
+		Parallelism:       1,
+		SuccessfulAttempt: map[int]int{},
+	})
+	if err == nil {
+		t.Fatal("commit with missing attempt succeeded")
+	}
+}
+
+func TestSplitInitializer(t *testing.T) {
+	svc := testServices(t)
+	w, err := CreateRecordFile(svc.FS, "/in/a", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		_ = w.Write([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	_ = w.Close()
+
+	init := SplitInitializer{}
+	res, err := init.Run(&runtime.InitializerContext{
+		DAG: "d", Vertex: "v", Source: "src",
+		Payload: plugin.MustEncode(SplitSourceConfig{Paths: []string{"/in/a"}, DesiredSplitSize: 256}),
+		FS:      svc.FS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallelism < 2 {
+		t.Fatalf("parallelism = %d", res.Parallelism)
+	}
+	if len(res.PerTaskPayload) != res.Parallelism || len(res.LocationHints) != res.Parallelism {
+		t.Fatal("per-task payloads/hints size mismatch")
+	}
+	// Sum of split lengths must equal the file size.
+	var total int64
+	for _, p := range res.PerTaskPayload {
+		var asn SplitAssignment
+		if err := plugin.Decode(p, &asn); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range asn.Splits {
+			total += s.Length
+		}
+	}
+	sz, _ := svc.FS.Size("/in/a")
+	if total != sz {
+		t.Fatalf("splits cover %d of %d bytes", total, sz)
+	}
+
+	// Cap parallelism.
+	res2, err := init.Run(&runtime.InitializerContext{
+		Payload: plugin.MustEncode(SplitSourceConfig{Paths: []string{"/in/a"}, DesiredSplitSize: 256, MaxParallelism: 2}),
+		FS:      svc.FS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Parallelism != 2 {
+		t.Fatalf("capped parallelism = %d", res2.Parallelism)
+	}
+}
+
+func TestRangePartitionedOutputConfig(t *testing.T) {
+	svc := testServices(t)
+	cfg := plugin.MustEncode(OrderedPartitionedConfig{
+		Partitioner: PartitionerSpec{Kind: "range", Points: [][]byte{[]byte("m")}},
+		NoStats:     true,
+	})
+	out := &OrderedPartitionedKVOutput{}
+	meta := runtime.Meta{DAG: "d", Vertex: "map", Task: 0}
+	if err := out.Initialize(ctxFor(svc, meta, "red", cfg, 2)); err != nil {
+		t.Fatal(err)
+	}
+	wAny, _ := out.Writer()
+	w := wAny.(runtime.KVWriter)
+	_ = w.Write([]byte("apple"), []byte("1"))
+	_ = w.Write([]byte("zebra"), []byte("2"))
+	events, err := out.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if _, ok := ev.(event.VertexManagerEvent); ok {
+			t.Fatal("stats sent despite NoStats=true")
+		}
+	}
+	id := shuffle.OutputID{DAG: "d", Vertex: "map", Name: "red", Task: 0}
+	p0, _ := svc.Shuffle.Fetch(id, 0, "n0")
+	p1, _ := svc.Shuffle.Fetch(id, 1, "n0")
+	r0, r1 := NewBufferReader(p0), NewBufferReader(p1)
+	if !r0.Next() || string(r0.Key()) != "apple" {
+		t.Fatal("apple not in range partition 0")
+	}
+	if !r1.Next() || string(r1.Key()) != "zebra" {
+		t.Fatal("zebra not in range partition 1")
+	}
+}

@@ -1,0 +1,347 @@
+package library
+
+import (
+	"fmt"
+	"sync"
+
+	"tez/internal/event"
+	"tez/internal/plugin"
+	"tez/internal/runtime"
+	"tez/internal/shuffle"
+)
+
+// Registered names of the shuffle transports.
+const (
+	OrderedPartitionedOutputName = "tez.ordered_partitioned_output"
+	OrderedGroupedInputName      = "tez.ordered_grouped_input"
+)
+
+func init() {
+	runtime.RegisterOutput(OrderedPartitionedOutputName, func() runtime.Output {
+		return &OrderedPartitionedKVOutput{}
+	})
+	runtime.RegisterInput(OrderedGroupedInputName, func() runtime.Input {
+		return &OrderedGroupedKVInput{}
+	})
+}
+
+// DMInfo is the DataMovement payload of the built-in shuffle outputs: the
+// "access URL" metadata of §3.3 — which registered output and partition to
+// fetch.
+type DMInfo struct {
+	ID        shuffle.OutputID
+	Partition int
+	Size      int64
+}
+
+// VMStats is the VertexManagerEvent payload the shuffle outputs send to
+// the consumer's ShuffleVertexManager: per-partition output sizes used for
+// the automatic partition-cardinality estimate (Figure 6).
+type VMStats struct {
+	PartitionSizes []int64
+}
+
+// OrderedPartitionedConfig configures OrderedPartitionedKVOutput.
+type OrderedPartitionedConfig struct {
+	Partitioner PartitionerSpec
+	// NoStats suppresses the VMStats event to the consumer vertex manager
+	// (stats are sent by default; the field is inverted so the gob
+	// zero-value default keeps them on).
+	NoStats bool
+}
+
+// OrderedPartitionedKVOutput is the map-side shuffle transport: it
+// partitions pairs by the configured partitioner, sorts each partition by
+// key, registers the partitions with the node's shuffle service, and
+// announces them with one DataMovement event per partition plus a VMStats
+// statistics event. The partition count comes from the edge manager via
+// Context.PhysicalCount.
+type OrderedPartitionedKVOutput struct {
+	ctx         *runtime.Context
+	cfg         OrderedPartitionedConfig
+	partitioner Partitioner
+	parts       [][]pair
+	bytes       int64
+}
+
+// Initialize decodes configuration and prepares partition buffers.
+func (o *OrderedPartitionedKVOutput) Initialize(ctx *runtime.Context) error {
+	o.ctx = ctx
+	o.cfg = OrderedPartitionedConfig{}
+	if len(ctx.Payload) > 0 {
+		if err := plugin.Decode(ctx.Payload, &o.cfg); err != nil {
+			return err
+		}
+	}
+	p, err := o.cfg.Partitioner.New()
+	if err != nil {
+		return err
+	}
+	o.partitioner = p
+	if ctx.PhysicalCount <= 0 {
+		return fmt.Errorf("library: ordered partitioned output with %d partitions", ctx.PhysicalCount)
+	}
+	o.parts = make([][]pair, ctx.PhysicalCount)
+	return nil
+}
+
+// Writer returns a runtime.KVWriter buffering into partitions.
+func (o *OrderedPartitionedKVOutput) Writer() (any, error) {
+	return kvWriterFunc(func(k, v []byte) error {
+		p := o.partitioner.Partition(k, len(o.parts))
+		o.parts[p] = append(o.parts[p], pair{append([]byte(nil), k...), append([]byte(nil), v...)})
+		o.bytes += int64(RecordSize(k, v))
+		return nil
+	}), nil
+}
+
+// Close sorts, registers and announces the partitions.
+func (o *OrderedPartitionedKVOutput) Close() ([]event.Event, error) {
+	id := shuffle.OutputID{
+		DAG:     o.ctx.Meta.DAG,
+		Vertex:  o.ctx.Meta.Vertex,
+		Name:    o.ctx.Name,
+		Task:    o.ctx.Meta.Task,
+		Attempt: o.ctx.Meta.Attempt,
+	}
+	encoded := make([][]byte, len(o.parts))
+	sizes := make([]int64, len(o.parts))
+	for i, ps := range o.parts {
+		sortPairs(ps)
+		encoded[i] = encodePairs(ps)
+		sizes[i] = int64(len(encoded[i]))
+	}
+	if err := o.ctx.Services.Shuffle.Register(o.ctx.Services.Node, id, encoded, o.ctx.Services.Token); err != nil {
+		return nil, err
+	}
+	events := make([]event.Event, 0, len(o.parts)+1)
+	for i := range o.parts {
+		events = append(events, event.DataMovement{
+			SrcVertex:      o.ctx.Meta.Vertex,
+			SrcTask:        o.ctx.Meta.Task,
+			SrcAttempt:     o.ctx.Meta.Attempt,
+			SrcOutputIndex: i,
+			TargetVertex:   o.ctx.Name,
+			Payload:        plugin.MustEncode(DMInfo{ID: id, Partition: i, Size: sizes[i]}),
+		})
+	}
+	if !o.cfg.NoStats {
+		events = append(events, event.VertexManagerEvent{
+			TargetVertex: o.ctx.Name,
+			SrcVertex:    o.ctx.Meta.Vertex,
+			SrcTask:      o.ctx.Meta.Task,
+			Payload:      plugin.MustEncode(VMStats{PartitionSizes: sizes}),
+		})
+	}
+	return events, nil
+}
+
+// kvWriterFunc adapts a function to runtime.KVWriter.
+type kvWriterFunc func(k, v []byte) error
+
+func (f kvWriterFunc) Write(k, v []byte) error { return f(k, v) }
+
+// fetchSet is the shared consumer-side machinery of the shuffle inputs:
+// it tracks expected physical inputs, accepts DataMovement events,
+// fetches their data (overlapping with producer completion), honours
+// InputFailed retractions, and surfaces producer data loss as a
+// runtime.InputReadError.
+type fetchSet struct {
+	ctx *runtime.Context
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	runs     map[int][]byte // physical input index -> fetched data
+	attempt  map[int]int    // physical input index -> producing attempt
+	srcTask  map[int]int    // physical input index -> producing task
+	pending  []event.DataMovement
+	failure  *runtime.InputReadError
+	stopped  bool
+	fetchers sync.WaitGroup
+	started  bool
+	quit     chan struct{}
+}
+
+func newFetchSet(ctx *runtime.Context) *fetchSet {
+	fs := &fetchSet{
+		ctx:     ctx,
+		runs:    make(map[int][]byte),
+		attempt: make(map[int]int),
+		srcTask: make(map[int]int),
+		quit:    make(chan struct{}),
+	}
+	fs.cond = sync.NewCond(&fs.mu)
+	return fs
+}
+
+// handleEvent records a DataMovement for fetching or an InputFailed
+// retraction.
+func (f *fetchSet) handleEvent(ev event.Event) error {
+	switch e := ev.(type) {
+	case event.DataMovement:
+		f.mu.Lock()
+		f.pending = append(f.pending, e)
+		f.mu.Unlock()
+		f.cond.Broadcast()
+	case event.InputFailed:
+		f.mu.Lock()
+		if at, ok := f.attempt[e.TargetInputIndex]; ok && at == e.SrcAttempt {
+			delete(f.runs, e.TargetInputIndex)
+			delete(f.attempt, e.TargetInputIndex)
+			delete(f.srcTask, e.TargetInputIndex)
+		}
+		f.mu.Unlock()
+		f.cond.Broadcast()
+	}
+	return nil
+}
+
+// start launches the fetch pump. Fetches overlap with remaining producer
+// executions (the latency-hiding overlap of §3.4).
+func (f *fetchSet) start() {
+	f.mu.Lock()
+	if f.started {
+		f.mu.Unlock()
+		return
+	}
+	f.started = true
+	f.mu.Unlock()
+	f.fetchers.Add(1)
+	go f.fetchLoop()
+	// Watch for an attempt kill so blocked waiters wake up; exits with the
+	// fetch set so reused containers don't accumulate watchers.
+	go func() {
+		select {
+		case <-f.ctx.Stop:
+			f.mu.Lock()
+			f.stopped = true
+			f.mu.Unlock()
+			f.cond.Broadcast()
+		case <-f.quit:
+		}
+	}()
+}
+
+// fetchLoop stays alive until close or failure so that replacement
+// movements after an InputFailed retraction are still fetched.
+func (f *fetchSet) fetchLoop() {
+	defer f.fetchers.Done()
+	fetcher := &shuffle.Fetcher{Service: f.ctx.Services.Shuffle, Token: f.ctx.Services.Token}
+	for {
+		f.mu.Lock()
+		for len(f.pending) == 0 && f.failure == nil && !f.stopped {
+			f.cond.Wait()
+		}
+		if f.failure != nil || f.stopped {
+			f.mu.Unlock()
+			return
+		}
+		dm := f.pending[0]
+		f.pending = f.pending[1:]
+		f.mu.Unlock()
+
+		var info DMInfo
+		if err := plugin.Decode(dm.Payload, &info); err != nil {
+			f.fail(dm, err)
+			return
+		}
+		data, err := fetcher.Fetch(info.ID, info.Partition, f.ctx.Services.Node)
+		if err != nil {
+			f.fail(dm, err)
+			return
+		}
+		if f.ctx.Services.Counters != nil {
+			f.ctx.Services.Counters.Add("SHUFFLE_BYTES", int64(len(data)))
+		}
+		f.mu.Lock()
+		// A retraction may have raced ahead; only store if this movement
+		// is still the expected attempt (last writer wins).
+		f.runs[dm.TargetInputIndex] = data
+		f.attempt[dm.TargetInputIndex] = dm.SrcAttempt
+		f.srcTask[dm.TargetInputIndex] = dm.SrcTask
+		f.mu.Unlock()
+		f.cond.Broadcast()
+	}
+}
+
+func (f *fetchSet) fail(dm event.DataMovement, err error) {
+	f.mu.Lock()
+	if f.failure == nil {
+		f.failure = &runtime.InputReadError{
+			InputName:  f.ctx.Name,
+			SrcVertex:  dm.SrcVertex,
+			SrcTask:    dm.SrcTask,
+			SrcAttempt: dm.SrcAttempt,
+			Err:        err,
+		}
+	}
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// wait blocks until every physical input is fetched, an input failed, or
+// the attempt is killed. It returns the fetched runs ordered by physical
+// input index.
+func (f *fetchSet) wait() ([][]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.runs) < f.ctx.PhysicalCount && f.failure == nil && !f.stopped {
+		f.cond.Wait()
+	}
+	if f.failure != nil {
+		return nil, f.failure
+	}
+	if f.stopped && len(f.runs) < f.ctx.PhysicalCount {
+		return nil, fmt.Errorf("library: input %s: attempt killed while fetching", f.ctx.Name)
+	}
+	out := make([][]byte, f.ctx.PhysicalCount)
+	for i := 0; i < f.ctx.PhysicalCount; i++ {
+		out[i] = f.runs[i]
+	}
+	return out, nil
+}
+
+func (f *fetchSet) close() error {
+	f.mu.Lock()
+	f.stopped = true
+	started := f.started
+	f.mu.Unlock()
+	f.cond.Broadcast()
+	if started {
+		close(f.quit)
+		f.fetchers.Wait()
+	}
+	return nil
+}
+
+// OrderedGroupedKVInput is the reduce-side shuffle transport: it fetches
+// every expected physical input (one per producer task per owned
+// partition), k-way merges the sorted runs and exposes a
+// runtime.GroupedKVReader of keys with grouped values.
+type OrderedGroupedKVInput struct {
+	fs *fetchSet
+}
+
+// Initialize prepares the fetch machinery.
+func (in *OrderedGroupedKVInput) Initialize(ctx *runtime.Context) error {
+	in.fs = newFetchSet(ctx)
+	return nil
+}
+
+// HandleEvent accepts DataMovement / InputFailed events.
+func (in *OrderedGroupedKVInput) HandleEvent(ev event.Event) error { return in.fs.handleEvent(ev) }
+
+// Start begins fetching as soon as movements arrive.
+func (in *OrderedGroupedKVInput) Start() error { in.fs.start(); return nil }
+
+// Reader blocks for all inputs, then returns a GroupedKVReader.
+func (in *OrderedGroupedKVInput) Reader() (any, error) {
+	runs, err := in.fs.wait()
+	if err != nil {
+		return nil, err
+	}
+	return newGroupedReader(newMergeReader(runs)), nil
+}
+
+// Close stops fetchers.
+func (in *OrderedGroupedKVInput) Close() error { return in.fs.close() }

@@ -1,0 +1,118 @@
+package library
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// sortPairs sorts in place by key (value tiebreak).
+func sortPairs(ps []pair) {
+	sort.Slice(ps, func(i, j int) bool { return compareKV(ps[i], ps[j]) < 0 })
+}
+
+// mergeReader k-way merges sorted runs (each an encoded buffer) into a
+// single key-ordered stream. It implements runtime.KVReader.
+type mergeReader struct {
+	h   runHeap
+	key []byte
+	val []byte
+	err error
+}
+
+type runCursor struct {
+	r *BufferReader
+}
+
+type runHeap []*runCursor
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	return compareKV(pair{h[i].r.Key(), h[i].r.Value()}, pair{h[j].r.Key(), h[j].r.Value()}) < 0
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(*runCursor)) }
+func (h *runHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// newMergeReader primes a cursor per non-empty run.
+func newMergeReader(runs [][]byte) *mergeReader {
+	m := &mergeReader{}
+	for _, run := range runs {
+		c := &runCursor{r: NewBufferReader(run)}
+		if c.r.Next() {
+			m.h = append(m.h, c)
+		} else if err := c.r.Err(); err != nil {
+			m.err = err
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// Next pops the globally smallest pair.
+func (m *mergeReader) Next() bool {
+	if m.err != nil || m.h.Len() == 0 {
+		return false
+	}
+	c := m.h[0]
+	m.key = c.r.Key()
+	m.val = c.r.Value()
+	if c.r.Next() {
+		heap.Fix(&m.h, 0)
+	} else {
+		if err := c.r.Err(); err != nil {
+			m.err = err
+			return false
+		}
+		heap.Pop(&m.h)
+	}
+	return true
+}
+
+func (m *mergeReader) Key() []byte   { return m.key }
+func (m *mergeReader) Value() []byte { return m.val }
+func (m *mergeReader) Err() error    { return m.err }
+
+// groupedReader groups a key-ordered KV stream into (key, values) — the
+// reduce-side view. It implements runtime.GroupedKVReader.
+type groupedReader struct {
+	src     *mergeReader
+	key     []byte
+	values  [][]byte
+	pending bool // src is positioned at the first pair of the next group
+	err     error
+}
+
+func newGroupedReader(src *mergeReader) *groupedReader {
+	g := &groupedReader{src: src}
+	g.pending = src.Next()
+	return g
+}
+
+// Next collects the next key group.
+func (g *groupedReader) Next() bool {
+	if g.err != nil {
+		return false
+	}
+	if !g.pending {
+		g.err = g.src.Err()
+		return false
+	}
+	g.key = append([]byte(nil), g.src.Key()...)
+	g.values = [][]byte{append([]byte(nil), g.src.Value()...)}
+	for {
+		if !g.src.Next() {
+			g.pending = false
+			g.err = g.src.Err()
+			return true
+		}
+		if string(g.src.Key()) != string(g.key) {
+			g.pending = true
+			return true
+		}
+		g.values = append(g.values, append([]byte(nil), g.src.Value()...))
+	}
+}
+
+func (g *groupedReader) Key() []byte      { return g.key }
+func (g *groupedReader) Values() [][]byte { return g.values }
+func (g *groupedReader) Err() error       { return g.err }

@@ -1,0 +1,132 @@
+package library
+
+import (
+	"tez/internal/event"
+	"tez/internal/plugin"
+	"tez/internal/runtime"
+	"tez/internal/shuffle"
+)
+
+// Registered names of the unordered transports (broadcast and one-to-one
+// edges).
+const (
+	UnorderedOutputName = "tez.unordered_output"
+	UnorderedInputName  = "tez.unordered_input"
+)
+
+func init() {
+	runtime.RegisterOutput(UnorderedOutputName, func() runtime.Output { return &UnorderedKVOutput{} })
+	runtime.RegisterInput(UnorderedInputName, func() runtime.Input { return &UnorderedKVInput{} })
+}
+
+// UnorderedKVOutput writes a single unsorted partition and announces it
+// with one DataMovement event — the transport of broadcast and one-to-one
+// edges.
+type UnorderedKVOutput struct {
+	ctx *runtime.Context
+	buf []byte
+}
+
+// Initialize stores the context.
+func (o *UnorderedKVOutput) Initialize(ctx *runtime.Context) error {
+	o.ctx = ctx
+	return nil
+}
+
+// Writer returns a runtime.KVWriter appending to the single partition.
+func (o *UnorderedKVOutput) Writer() (any, error) {
+	return kvWriterFunc(func(k, v []byte) error {
+		o.buf = AppendRecord(o.buf, k, v)
+		return nil
+	}), nil
+}
+
+// Close registers the partition and announces it.
+func (o *UnorderedKVOutput) Close() ([]event.Event, error) {
+	id := shuffle.OutputID{
+		DAG:     o.ctx.Meta.DAG,
+		Vertex:  o.ctx.Meta.Vertex,
+		Name:    o.ctx.Name,
+		Task:    o.ctx.Meta.Task,
+		Attempt: o.ctx.Meta.Attempt,
+	}
+	if err := o.ctx.Services.Shuffle.Register(o.ctx.Services.Node, id, [][]byte{o.buf}, o.ctx.Services.Token); err != nil {
+		return nil, err
+	}
+	return []event.Event{event.DataMovement{
+		SrcVertex:      o.ctx.Meta.Vertex,
+		SrcTask:        o.ctx.Meta.Task,
+		SrcAttempt:     o.ctx.Meta.Attempt,
+		SrcOutputIndex: 0,
+		TargetVertex:   o.ctx.Name,
+		Payload:        plugin.MustEncode(DMInfo{ID: id, Partition: 0, Size: int64(len(o.buf))}),
+	}}, nil
+}
+
+// UnorderedKVInput fetches its physical inputs and exposes them as one
+// concatenated, unsorted runtime.KVReader.
+type UnorderedKVInput struct {
+	fs *fetchSet
+}
+
+// Initialize prepares the fetch machinery.
+func (in *UnorderedKVInput) Initialize(ctx *runtime.Context) error {
+	in.fs = newFetchSet(ctx)
+	return nil
+}
+
+// HandleEvent accepts DataMovement / InputFailed events.
+func (in *UnorderedKVInput) HandleEvent(ev event.Event) error { return in.fs.handleEvent(ev) }
+
+// Start begins fetching.
+func (in *UnorderedKVInput) Start() error { in.fs.start(); return nil }
+
+// Reader blocks for all physical inputs, then returns a KVReader over
+// their concatenation in input-index order.
+func (in *UnorderedKVInput) Reader() (any, error) {
+	runs, err := in.fs.wait()
+	if err != nil {
+		return nil, err
+	}
+	return newConcatReader(runs), nil
+}
+
+// Close stops fetchers.
+func (in *UnorderedKVInput) Close() error { return in.fs.close() }
+
+// concatReader iterates multiple encoded buffers back to back.
+type concatReader struct {
+	bufs []([]byte)
+	cur  *BufferReader
+	idx  int
+	err  error
+}
+
+func newConcatReader(bufs [][]byte) *concatReader {
+	return &concatReader{bufs: bufs}
+}
+
+// Next advances across buffer boundaries.
+func (c *concatReader) Next() bool {
+	for {
+		if c.cur == nil {
+			if c.idx >= len(c.bufs) {
+				return false
+			}
+			c.cur = NewBufferReader(c.bufs[c.idx])
+			c.idx++
+		}
+		if c.cur.Next() {
+			return true
+		}
+		if err := c.cur.Err(); err != nil {
+			c.err = err
+			return false
+		}
+		c.cur = nil
+	}
+}
+
+func (c *concatReader) Key() []byte   { return c.cur.Key() }
+func (c *concatReader) Value() []byte { return c.cur.Value() }
+func (c *concatReader) Err() error    { return c.err }

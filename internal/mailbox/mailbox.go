@@ -1,0 +1,85 @@
+// Package mailbox provides an unbounded FIFO queue for decoupling event
+// producers from consumers. The resource manager, application master and
+// tasks all exchange control-plane events through mailboxes so that a slow
+// consumer can never deadlock a producer — the property Tez gets from its
+// asynchronous, push-based event plane (§3.3 of the paper).
+package mailbox
+
+import "sync"
+
+// Mailbox is an unbounded FIFO of T. The zero value is NOT ready; use New.
+type Mailbox[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+// New returns an empty, open mailbox.
+func New[T any]() *Mailbox[T] {
+	m := &Mailbox[T]{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Put enqueues v. Put on a closed mailbox is a silent no-op, so that
+// late producers (e.g. a task finishing after its DAG was torn down)
+// need no coordination.
+func (m *Mailbox[T]) Put(v T) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.items = append(m.items, v)
+	m.cond.Signal()
+}
+
+// Get blocks until an item is available or the mailbox is closed and
+// drained. ok is false only when closed and empty.
+func (m *Mailbox[T]) Get() (v T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// TryGet returns an item if one is immediately available.
+func (m *Mailbox[T]) TryGet() (v T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}
+
+// Close wakes all blocked Gets. Items already queued can still be drained.
+// Close is idempotent.
+func (m *Mailbox[T]) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+}

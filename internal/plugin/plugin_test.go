@@ -1,0 +1,103 @@
+package plugin
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterLookup(t *testing.T) {
+	type factory func() int
+	Register(KindProcessor, "pt.one", factory(func() int { return 1 }))
+	Register(KindProcessor, "pt.two", factory(func() int { return 2 }))
+	Register(KindInput, "pt.one", factory(func() int { return 3 })) // same name, other kind
+
+	f, err := Lookup(KindProcessor, "pt.one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.(factory)(); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	f, err = Lookup(KindInput, "pt.one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.(factory)(); got != 3 {
+		t.Fatalf("kinds collided: got %d", got)
+	}
+	if _, err := Lookup(KindOutput, "pt.one"); err == nil {
+		t.Fatal("lookup across kinds succeeded")
+	}
+	if _, err := Lookup(KindProcessor, "pt.missing"); err == nil {
+		t.Fatal("missing lookup succeeded")
+	}
+
+	names := Names(KindProcessor)
+	found := 0
+	for _, n := range names {
+		if strings.HasPrefix(n, "pt.") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("Names = %v", names)
+	}
+	// Re-registration replaces.
+	Register(KindProcessor, "pt.one", factory(func() int { return 11 }))
+	f, _ = Lookup(KindProcessor, "pt.one")
+	if got := f.(factory)(); got != 11 {
+		t.Fatalf("re-registration ignored: %d", got)
+	}
+}
+
+func TestDescriptor(t *testing.T) {
+	d := Desc("x", nil)
+	if d.IsZero() || d.Payload != nil {
+		t.Fatalf("Desc = %+v", d)
+	}
+	if !(Descriptor{}).IsZero() {
+		t.Fatal("zero descriptor not zero")
+	}
+	type cfg struct {
+		A int
+		B string
+	}
+	d2 := Desc("y", cfg{A: 7, B: "hi"})
+	var got cfg
+	if err := Decode(d2.Payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.A != 7 || got.B != "hi" {
+		t.Fatalf("decoded %+v", got)
+	}
+	if err := Decode([]byte("garbage"), &got); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary payload structs.
+func TestQuickEncodeDecode(t *testing.T) {
+	type payload struct {
+		N  int64
+		S  string
+		Bs []byte
+		M  map[string]int
+	}
+	f := func(n int64, s string, bs []byte) bool {
+		in := payload{N: n, S: s, Bs: bs, M: map[string]int{s: int(n)}}
+		data, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		var out payload
+		if err := Decode(data, &out); err != nil {
+			return false
+		}
+		return out.N == in.N && out.S == in.S &&
+			string(out.Bs) == string(in.Bs) && out.M[s] == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

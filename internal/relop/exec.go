@@ -1,0 +1,472 @@
+package relop
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"tez/internal/event"
+	"tez/internal/plugin"
+	"tez/internal/row"
+	"tez/internal/runtime"
+)
+
+// StageProcessorName is the registered processor hosting StageSpecs.
+const StageProcessorName = "relop.stage"
+
+func init() {
+	runtime.RegisterProcessor(StageProcessorName, func() runtime.Processor { return &stageProcessor{} })
+}
+
+// PruneValues is the payload of initializer events and of VM histogram
+// events: a bag of key values.
+type PruneValues struct {
+	Values []row.Value
+}
+
+type stageProcessor struct {
+	ctx  *runtime.Context
+	spec StageSpec
+}
+
+func (p *stageProcessor) Initialize(ctx *runtime.Context) error {
+	p.ctx = ctx
+	return plugin.Decode(ctx.Payload, &p.spec)
+}
+
+func (p *stageProcessor) Close() error { return nil }
+
+// emitter is one EmitSpec bound to its writer and deferred-event state.
+type emitter struct {
+	spec   EmitSpec
+	writer runtime.KVWriter
+	proc   *stageProcessor
+	tables map[string]map[string][]row.Row
+	// deferred collects key values for initializer/vm emits, sent once at
+	// stage end.
+	deferred []row.Value
+	count    int64
+}
+
+func (e *emitter) emit(r row.Row) error {
+	return e.runPipe(r, e.spec.Pipe, e.terminal)
+}
+
+// runPipe applies the pipeline (hash joins may fan out) and calls sink.
+func (e *emitter) runPipe(r row.Row, ops []PipeOp, sink func(row.Row) error) error {
+	if len(ops) == 0 {
+		return sink(r)
+	}
+	op := ops[0]
+	rest := ops[1:]
+	switch op.Kind {
+	case "filter":
+		if !Truthy(op.Filter.Eval(r)) {
+			return nil
+		}
+		return e.runPipe(r, rest, sink)
+	case "project":
+		return e.runPipe(EvalAll(op.Project, r), rest, sink)
+	case "hashjoin":
+		table := e.tables[op.HJ.Input]
+		if table == nil {
+			return fmt.Errorf("relop: hash join against unknown build input %q", op.HJ.Input)
+		}
+		key := row.EncodeKey(nil, EvalAll(op.HJ.ProbeKeys, r)...)
+		for _, build := range table[string(key)] {
+			joined := append(r.Clone(), build...)
+			if err := e.runPipe(joined, rest, sink); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("relop: unknown pipe op %q", op.Kind)
+}
+
+func (e *emitter) terminal(r row.Row) error {
+	if e.spec.SampleRate > 0 && !sampled(r, e.spec.SampleRate) {
+		return nil
+	}
+	e.count++
+	switch e.spec.Kind {
+	case EmitShuffle:
+		key := e.shuffleKey(r)
+		val := make([]byte, 0, 64)
+		if e.spec.Tag >= 0 {
+			val = append(val, byte(e.spec.Tag))
+		}
+		val = row.Encode(val, r)
+		return e.writer.Write(key, val)
+	case EmitBroadcast, EmitSink:
+		return e.writer.Write(nil, row.Encode(nil, r))
+	case EmitInitializer, EmitVM:
+		e.deferred = append(e.deferred, e.spec.Keys[0].Eval(r))
+		return nil
+	}
+	return fmt.Errorf("relop: unknown emit kind %q", e.spec.Kind)
+}
+
+// shuffleKey builds the orderable key with per-column direction.
+func (e *emitter) shuffleKey(r row.Row) []byte {
+	var key []byte
+	for i, kx := range e.spec.Keys {
+		seg := row.EncodeKey(nil, kx.Eval(r))
+		if i < len(e.spec.Desc) && e.spec.Desc[i] {
+			seg = row.DescendingKey(seg)
+		}
+		key = append(key, seg...)
+	}
+	return key
+}
+
+// flush sends deferred control events (§3.3: opaque payloads routed by
+// the framework).
+func (e *emitter) flush() {
+	switch e.spec.Kind {
+	case EmitInitializer:
+		e.proc.ctx.Emit(event.InputInitializerEvent{
+			TargetVertex:     e.spec.Output,
+			TargetDataSource: e.spec.TargetSource,
+			SrcVertex:        e.proc.ctx.Meta.Vertex,
+			SrcTask:          e.proc.ctx.Meta.Task,
+			Payload:          plugin.MustEncode(PruneValues{Values: e.deferred}),
+		})
+	case EmitVM:
+		e.proc.ctx.Emit(event.VertexManagerEvent{
+			TargetVertex: e.spec.Output,
+			SrcVertex:    e.proc.ctx.Meta.Vertex,
+			SrcTask:      e.proc.ctx.Meta.Task,
+			Payload:      plugin.MustEncode(PruneValues{Values: e.deferred}),
+		})
+	}
+}
+
+func sampled(r row.Row, rate float64) bool {
+	h := fnv.New32a()
+	_, _ = h.Write(row.Encode(nil, r))
+	return float64(h.Sum32()%1000000) < rate*1000000
+}
+
+func (p *stageProcessor) Run(inputs map[string]runtime.Input, outputs map[string]runtime.Output) error {
+	// Bind emitters to writers.
+	emitters := make([]*emitter, len(p.spec.Emits))
+	tables := map[string]map[string][]row.Row{}
+	for i := range p.spec.Emits {
+		es := p.spec.Emits[i]
+		em := &emitter{spec: es, proc: p, tables: tables}
+		switch es.Kind {
+		case EmitShuffle, EmitBroadcast, EmitSink:
+			out, ok := outputs[es.Output]
+			if !ok {
+				return fmt.Errorf("relop: stage has no output %q", es.Output)
+			}
+			w, err := out.Writer()
+			if err != nil {
+				return err
+			}
+			kw, ok := w.(runtime.KVWriter)
+			if !ok {
+				return fmt.Errorf("relop: output %q writer is %T", es.Output, w)
+			}
+			em.writer = kw
+		}
+		emitters[i] = em
+	}
+
+	// Build hash tables (possibly from the shared object registry, §4.2).
+	for _, in := range p.spec.Inputs {
+		if in.Mode != InBuild {
+			continue
+		}
+		table, err := p.buildTable(in, inputs)
+		if err != nil {
+			return err
+		}
+		tables[in.Name] = table
+	}
+
+	// Stream the inputs. All grouped inputs are merged into one key-ordered
+	// group stream (a reduce-side join's sides arrive on separate edges).
+	var grouped []runtime.GroupedKVReader
+	for _, in := range p.spec.Inputs {
+		switch in.Mode {
+		case InSource, InUnordered:
+			if err := p.runStream(in, inputs, emitters); err != nil {
+				return err
+			}
+		case InGrouped:
+			src, ok := inputs[in.Name]
+			if !ok {
+				return fmt.Errorf("relop: stage has no input %q", in.Name)
+			}
+			rd, err := src.Reader()
+			if err != nil {
+				return err
+			}
+			gr, ok := rd.(runtime.GroupedKVReader)
+			if !ok {
+				return fmt.Errorf("relop: input %q reader is %T", in.Name, rd)
+			}
+			grouped = append(grouped, gr)
+		}
+	}
+	if len(grouped) > 0 {
+		if err := p.runGrouped(grouped, emitters); err != nil {
+			return err
+		}
+	}
+	for _, em := range emitters {
+		em.flush()
+	}
+	if p.ctx.Services.Counters != nil {
+		for _, em := range emitters {
+			p.ctx.Services.Counters.Add("ROWS_EMITTED", em.count)
+		}
+	}
+	return nil
+}
+
+// buildTable loads a broadcast build side, caching through the object
+// registry so tasks reusing the container skip the rebuild (the Hive
+// broadcast-join example of §4.2).
+func (p *stageProcessor) buildTable(in StageInput, inputs map[string]runtime.Input) (map[string][]row.Row, error) {
+	cacheKey := fmt.Sprintf("relop/hj/%s/%s", p.ctx.Meta.Vertex, in.Name)
+	if in.CacheInRegistry && p.ctx.Services.Registry != nil {
+		if v, ok := p.ctx.Services.Registry.Get(p.ctx.Meta, cacheKey); ok {
+			if p.ctx.Services.Counters != nil {
+				p.ctx.Services.Counters.Add("HASHTABLE_CACHE_HITS", 1)
+			}
+			return v.(map[string][]row.Row), nil
+		}
+	}
+	src, ok := inputs[in.Name]
+	if !ok {
+		return nil, fmt.Errorf("relop: stage has no input %q", in.Name)
+	}
+	rd, err := src.Reader()
+	if err != nil {
+		return nil, err
+	}
+	kv, ok := rd.(runtime.KVReader)
+	if !ok {
+		return nil, fmt.Errorf("relop: build input %q reader is %T", in.Name, rd)
+	}
+	table := map[string][]row.Row{}
+	for kv.Next() {
+		r, err := row.Decode(kv.Value())
+		if err != nil {
+			return nil, err
+		}
+		key := string(row.EncodeKey(nil, EvalAll(in.BuildKeys, r)...))
+		table[key] = append(table[key], r)
+	}
+	if err := kv.Err(); err != nil {
+		return nil, err
+	}
+	if in.CacheInRegistry && p.ctx.Services.Registry != nil {
+		p.ctx.Services.Registry.Add(runtime.LifetimeDAG, p.ctx.Meta, cacheKey, table)
+		if p.ctx.Services.Counters != nil {
+			p.ctx.Services.Counters.Add("HASHTABLE_BUILDS", 1)
+		}
+	}
+	return table, nil
+}
+
+// runStream feeds a row-stream input through the emits bound to it.
+func (p *stageProcessor) runStream(in StageInput, inputs map[string]runtime.Input, emitters []*emitter) error {
+	src, ok := inputs[in.Name]
+	if !ok {
+		return fmt.Errorf("relop: stage has no input %q", in.Name)
+	}
+	rd, err := src.Reader()
+	if err != nil {
+		return err
+	}
+	kv, ok := rd.(runtime.KVReader)
+	if !ok {
+		return fmt.Errorf("relop: input %q reader is %T", in.Name, rd)
+	}
+	var bound []*emitter
+	for _, em := range emitters {
+		if em.spec.Input == in.Name {
+			bound = append(bound, em)
+		}
+	}
+	for kv.Next() {
+		r, err := row.Decode(kv.Value())
+		if err != nil {
+			return err
+		}
+		for _, em := range bound {
+			if err := em.emit(r); err != nil {
+				return err
+			}
+		}
+	}
+	return kv.Err()
+}
+
+// runGrouped applies the stage's GroupOp per key group and feeds the
+// group-output emits. Multiple grouped inputs are merged by key.
+func (p *stageProcessor) runGrouped(readers []runtime.GroupedKVReader, emitters []*emitter) error {
+	g := p.spec.Group
+	if g == nil {
+		return fmt.Errorf("relop: grouped inputs without group op")
+	}
+	gr := mergeGroupReaders(readers)
+	var bound []*emitter
+	for _, em := range emitters {
+		if em.spec.Input == "" {
+			bound = append(bound, em)
+		}
+	}
+	emitRow := func(r row.Row) error {
+		for _, em := range bound {
+			if err := em.emit(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	emitted := 0
+	for gr.Next() {
+		values := gr.Values()
+		switch g.Kind {
+		case "join":
+			if err := p.joinGroup(g, values, emitRow); err != nil {
+				return err
+			}
+		case "agg":
+			if err := p.aggGroup(g, values, emitRow); err != nil {
+				return err
+			}
+		case "sort":
+			for _, v := range values {
+				if g.Limit > 0 && emitted >= g.Limit {
+					return gr.Err()
+				}
+				r, err := row.Decode(v)
+				if err != nil {
+					return err
+				}
+				if err := emitRow(r); err != nil {
+					return err
+				}
+				emitted++
+			}
+		case "distinct":
+			r, err := row.Decode(values[0])
+			if err != nil {
+				return err
+			}
+			if err := emitRow(r); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("relop: unknown group op %q", g.Kind)
+		}
+	}
+	return gr.Err()
+}
+
+// joinGroup splits tagged values by side and emits the cartesian product.
+func (p *stageProcessor) joinGroup(g *GroupOp, values [][]byte, emit func(row.Row) error) error {
+	sides := make([][]row.Row, g.Sides)
+	for _, v := range values {
+		if len(v) == 0 {
+			return fmt.Errorf("relop: untagged join value")
+		}
+		tag := int(v[0])
+		if tag >= g.Sides {
+			return fmt.Errorf("relop: join tag %d out of %d sides", tag, g.Sides)
+		}
+		r, err := row.Decode(v[1:])
+		if err != nil {
+			return err
+		}
+		sides[tag] = append(sides[tag], r)
+	}
+	for _, s := range sides {
+		if len(s) == 0 {
+			return nil // inner join: some side empty
+		}
+	}
+	var rec func(i int, acc row.Row) error
+	rec = func(i int, acc row.Row) error {
+		if i == len(sides) {
+			return emit(acc)
+		}
+		for _, r := range sides[i] {
+			next := append(acc.Clone(), r...)
+			if err := rec(i+1, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, row.Row{})
+}
+
+// aggGroup computes the aggregates of one group.
+func (p *stageProcessor) aggGroup(g *GroupOp, values [][]byte, emit func(row.Row) error) error {
+	type state struct {
+		sum   float64
+		count int64
+		min   row.Value
+		max   row.Value
+		init  bool
+	}
+	states := make([]state, len(g.Aggs))
+	var groupVals row.Row
+	for _, v := range values {
+		r, err := row.Decode(v)
+		if err != nil {
+			return err
+		}
+		if groupVals == nil {
+			groupVals = r[:g.GroupWidth].Clone()
+		}
+		for i, a := range g.Aggs {
+			var av row.Value
+			if a.Col >= 0 && a.Col < len(r) {
+				av = r[a.Col]
+			}
+			st := &states[i]
+			st.count++
+			if !av.IsNull() {
+				st.sum += av.AsFloat()
+				if !st.init || row.Compare(av, st.min) < 0 {
+					st.min = av
+				}
+				if !st.init || row.Compare(av, st.max) > 0 {
+					st.max = av
+				}
+				st.init = true
+			}
+		}
+	}
+	out := groupVals.Clone()
+	for i, a := range g.Aggs {
+		st := states[i]
+		switch a.Func {
+		case "sum":
+			out = append(out, row.Float(st.sum))
+		case "count":
+			out = append(out, row.Int(st.count))
+		case "avg":
+			if st.count == 0 {
+				out = append(out, row.Null())
+			} else {
+				out = append(out, row.Float(st.sum/float64(st.count)))
+			}
+		case "min":
+			out = append(out, st.min)
+		case "max":
+			out = append(out, st.max)
+		default:
+			return fmt.Errorf("relop: unknown aggregate %q", a.Func)
+		}
+	}
+	return emit(out)
+}

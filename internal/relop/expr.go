@@ -1,0 +1,184 @@
+// Package relop is the shared relational execution layer used by the
+// Hive-style SQL engine and the Pig-style ETL engine in this repository.
+// It provides a logical plan, a gob-encodable stage language, a stage
+// processor registered with the Tez runtime, and two compilers: one that
+// emits a single Tez DAG (stage chaining, broadcast edges, auto reduce
+// parallelism), and one that emits a chain of MapReduce-shaped jobs with
+// DFS materialisation between them — the baseline the paper's Figures 8–10
+// compare against.
+package relop
+
+import (
+	"fmt"
+
+	"tez/internal/row"
+)
+
+// Expr is a gob-encodable expression tree evaluated against a row.
+// Comparison and logical operators yield Int(1)/Int(0); null propagates
+// through arithmetic.
+type Expr struct {
+	// Kind: "col", "lit", "cmp", "and", "or", "not", "arith".
+	Kind string
+	// Col is the input column index for Kind "col".
+	Col int
+	// Lit is the literal for Kind "lit".
+	Lit row.Value
+	// Op: cmp: = != < <= > >= ; arith: + - * /
+	Op   string
+	Args []*Expr
+}
+
+// Expression constructors.
+func Col(i int) *Expr          { return &Expr{Kind: "col", Col: i} }
+func Lit(v row.Value) *Expr    { return &Expr{Kind: "lit", Lit: v} }
+func LitInt(v int64) *Expr     { return Lit(row.Int(v)) }
+func LitFloat(v float64) *Expr { return Lit(row.Float(v)) }
+func LitString(v string) *Expr { return Lit(row.String(v)) }
+func Cmp(op string, a, b *Expr) *Expr {
+	return &Expr{Kind: "cmp", Op: op, Args: []*Expr{a, b}}
+}
+func Eq(a, b *Expr) *Expr { return Cmp("=", a, b) }
+func And(args ...*Expr) *Expr {
+	if len(args) == 1 {
+		return args[0]
+	}
+	return &Expr{Kind: "and", Args: args}
+}
+func Or(args ...*Expr) *Expr { return &Expr{Kind: "or", Args: args} }
+func Not(a *Expr) *Expr      { return &Expr{Kind: "not", Args: []*Expr{a}} }
+func Arith(op string, a, b *Expr) *Expr {
+	return &Expr{Kind: "arith", Op: op, Args: []*Expr{a, b}}
+}
+
+// Eval evaluates the expression against r.
+func (e *Expr) Eval(r row.Row) row.Value {
+	switch e.Kind {
+	case "col":
+		if e.Col < 0 || e.Col >= len(r) {
+			return row.Null()
+		}
+		return r[e.Col]
+	case "lit":
+		return e.Lit
+	case "cmp":
+		a, b := e.Args[0].Eval(r), e.Args[1].Eval(r)
+		if a.IsNull() || b.IsNull() {
+			return row.Null()
+		}
+		c := row.Compare(a, b)
+		ok := false
+		switch e.Op {
+		case "=":
+			ok = c == 0
+		case "!=":
+			ok = c != 0
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		case ">=":
+			ok = c >= 0
+		}
+		return boolVal(ok)
+	case "and":
+		for _, a := range e.Args {
+			if !Truthy(a.Eval(r)) {
+				return boolVal(false)
+			}
+		}
+		return boolVal(true)
+	case "or":
+		for _, a := range e.Args {
+			if Truthy(a.Eval(r)) {
+				return boolVal(true)
+			}
+		}
+		return boolVal(false)
+	case "not":
+		return boolVal(!Truthy(e.Args[0].Eval(r)))
+	case "arith":
+		a, b := e.Args[0].Eval(r), e.Args[1].Eval(r)
+		if a.IsNull() || b.IsNull() {
+			return row.Null()
+		}
+		if a.Kind == row.KindInt && b.Kind == row.KindInt && e.Op != "/" {
+			switch e.Op {
+			case "+":
+				return row.Int(a.Int + b.Int)
+			case "-":
+				return row.Int(a.Int - b.Int)
+			case "*":
+				return row.Int(a.Int * b.Int)
+			}
+		}
+		fa, fb := a.AsFloat(), b.AsFloat()
+		switch e.Op {
+		case "+":
+			return row.Float(fa + fb)
+		case "-":
+			return row.Float(fa - fb)
+		case "*":
+			return row.Float(fa * fb)
+		case "/":
+			if fb == 0 {
+				return row.Null()
+			}
+			return row.Float(fa / fb)
+		}
+	}
+	return row.Null()
+}
+
+// Truthy interprets a value as a boolean: non-null and non-zero.
+func Truthy(v row.Value) bool {
+	switch v.Kind {
+	case row.KindNull:
+		return false
+	case row.KindInt:
+		return v.Int != 0
+	case row.KindFloat:
+		return v.Float != 0
+	case row.KindString:
+		return v.Str != ""
+	}
+	return false
+}
+
+func boolVal(b bool) row.Value {
+	if b {
+		return row.Int(1)
+	}
+	return row.Int(0)
+}
+
+// EvalAll evaluates a projection list.
+func EvalAll(exprs []*Expr, r row.Row) row.Row {
+	out := make(row.Row, len(exprs))
+	for i, e := range exprs {
+		out[i] = e.Eval(r)
+	}
+	return out
+}
+
+func (e *Expr) String() string {
+	switch e.Kind {
+	case "col":
+		return fmt.Sprintf("$%d", e.Col)
+	case "lit":
+		return e.Lit.String()
+	case "cmp", "arith":
+		return fmt.Sprintf("(%s %s %s)", e.Args[0], e.Op, e.Args[1])
+	case "and", "or":
+		s := "(" + e.Args[0].String()
+		for _, a := range e.Args[1:] {
+			s += " " + e.Kind + " " + a.String()
+		}
+		return s + ")"
+	case "not":
+		return "not " + e.Args[0].String()
+	}
+	return "?"
+}

@@ -1,0 +1,308 @@
+package relop
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"tez/internal/row"
+)
+
+// ParseExpr parses a textual expression against a schema, resolving
+// identifiers to column indices. Supported: identifiers (optionally
+// qualified), integer/float/'string' literals, comparison operators
+// (= == != <> < <= > >=), arithmetic (+ - * /), AND/OR/NOT and
+// parentheses. Used by the Pig script parser and the CLI tools.
+func ParseExpr(src string, schema row.Schema) (*Expr, error) {
+	toks, err := lexExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{toks: toks, schema: schema}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("relop: trailing input near %q in %q", p.toks[p.pos].text, src)
+	}
+	return e, nil
+}
+
+type exprTok struct {
+	kind string // ident, int, float, str, op
+	text string
+}
+
+func lexExpr(src string) ([]exprTok, error) {
+	var toks []exprTok
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '\'':
+			j := i + 1
+			for j < len(rs) && rs[j] != '\'' {
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("relop: unterminated string in %q", src)
+			}
+			toks = append(toks, exprTok{"str", string(rs[i+1 : j])})
+			i = j + 1
+		case unicode.IsDigit(r):
+			j := i
+			isFloat := false
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.') {
+				if rs[j] == '.' {
+					isFloat = true
+				}
+				j++
+			}
+			kind := "int"
+			if isFloat {
+				kind = "float"
+			}
+			toks = append(toks, exprTok{kind, string(rs[i:j])})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_' || rs[j] == '.') {
+				j++
+			}
+			toks = append(toks, exprTok{"ident", string(rs[i:j])})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(rs) {
+				two = string(rs[i : i+2])
+			}
+			matched := false
+			for _, op := range []string{"<=", ">=", "!=", "<>", "=="} {
+				if two == op {
+					if op == "<>" {
+						op = "!="
+					}
+					if op == "==" {
+						op = "="
+					}
+					toks = append(toks, exprTok{"op", op})
+					i += 2
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				if strings.ContainsRune("=<>()+-*/,", r) {
+					toks = append(toks, exprTok{"op", string(r)})
+					i++
+				} else {
+					return nil, fmt.Errorf("relop: unexpected character %q in %q", r, src)
+				}
+			}
+		}
+	}
+	return toks, nil
+}
+
+type exprParser struct {
+	toks   []exprTok
+	pos    int
+	schema row.Schema
+}
+
+func (p *exprParser) peek() exprTok {
+	if p.pos >= len(p.toks) {
+		return exprTok{kind: "eof"}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *exprParser) kw(w string) bool {
+	t := p.peek()
+	if t.kind == "ident" && strings.EqualFold(t.text, w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) op(text string) bool {
+	t := p.peek()
+	if t.kind == "op" && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parseOr() (*Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseAnd() (*Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = And(left, right)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseNot() (*Expr, error) {
+	if p.kw("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not(e), nil
+	}
+	return p.parseCmp()
+}
+
+func (p *exprParser) parseCmp() (*Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if p.op(op) {
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return Cmp(op, left, right), nil
+		}
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseAdd() (*Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.op("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = Arith("+", left, r)
+		case p.op("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = Arith("-", left, r)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *exprParser) parseMul() (*Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.op("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = Arith("*", left, r)
+		case p.op("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = Arith("/", left, r)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (*Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case "int":
+		p.pos++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return LitInt(n), nil
+	case "float":
+		p.pos++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, err
+		}
+		return LitFloat(f), nil
+	case "str":
+		p.pos++
+		return LitString(t.text), nil
+	case "ident":
+		p.pos++
+		idx := p.schema.Index(t.text)
+		if idx < 0 {
+			return nil, fmt.Errorf("relop: unknown column %q (have %v)", t.text, schemaNames(p.schema))
+		}
+		return Col(idx), nil
+	case "op":
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.op(")") {
+				return nil, fmt.Errorf("relop: missing )")
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			p.pos++
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return Arith("-", LitInt(0), e), nil
+		}
+	}
+	return nil, fmt.Errorf("relop: unexpected token %q", t.text)
+}
+
+func schemaNames(s row.Schema) []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}

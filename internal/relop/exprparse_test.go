@@ -1,0 +1,69 @@
+package relop
+
+import (
+	"testing"
+
+	"tez/internal/row"
+)
+
+func TestParseExprEvaluation(t *testing.T) {
+	schema := row.NewSchema("a:int", "b:float", "name")
+	r := row.Row{row.Int(10), row.Float(2.5), row.String("x")}
+	cases := []struct {
+		src  string
+		want row.Value
+	}{
+		{"a", row.Int(10)},
+		{"a + 5", row.Int(15)},
+		{"a * b", row.Float(25)},
+		{"a - 2 * 3", row.Int(4)},
+		{"(a - 2) * 3", row.Int(24)},
+		{"a / 4", row.Float(2.5)},
+		{"-a", row.Int(-10)},
+		{"a >= 10", row.Int(1)},
+		{"a != 10", row.Int(0)},
+		{"a <> 10", row.Int(0)},
+		{"a == 10", row.Int(1)},
+		{"name = 'x'", row.Int(1)},
+		{"name = 'y'", row.Int(0)},
+		{"a > 5 AND b < 3", row.Int(1)},
+		{"a > 50 OR name = 'x'", row.Int(1)},
+		{"NOT a > 50", row.Int(1)},
+		{"3.5 + 1", row.Float(4.5)},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src, schema)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		got := e.Eval(r)
+		if row.Compare(got, c.want) != 0 {
+			t.Fatalf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	schema := row.NewSchema("a:int")
+	bad := []string{
+		"", "a +", "unknowncol", "a > ", "(a", "a ) b", "'unterminated",
+		"a # 2", "a 5",
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src, schema); err == nil {
+			t.Fatalf("parsed invalid expression %q", src)
+		}
+	}
+}
+
+func TestParseExprQualifiedNames(t *testing.T) {
+	schema := row.NewSchema("t.a:int", "u.a:int")
+	e, err := ParseExpr("u.a + t.a", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Eval(row.Row{row.Int(1), row.Int(2)})
+	if got.AsInt() != 3 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,86 @@
+package relop
+
+import (
+	"bytes"
+
+	"tez/internal/runtime"
+)
+
+// mergeGroupReaders merges several key-ordered grouped readers into one:
+// groups with equal keys across readers are concatenated (values in reader
+// order). A single reader is passed through untouched.
+func mergeGroupReaders(readers []runtime.GroupedKVReader) runtime.GroupedKVReader {
+	if len(readers) == 1 {
+		return readers[0]
+	}
+	m := &mergedGroups{}
+	for _, r := range readers {
+		c := &groupCursor{r: r}
+		c.advance()
+		m.cursors = append(m.cursors, c)
+	}
+	return m
+}
+
+type groupCursor struct {
+	r    runtime.GroupedKVReader
+	live bool
+	err  error
+}
+
+func (c *groupCursor) advance() {
+	c.live = c.r.Next()
+	if !c.live {
+		c.err = c.r.Err()
+	}
+}
+
+type mergedGroups struct {
+	cursors []*groupCursor
+	key     []byte
+	values  [][]byte
+	err     error
+}
+
+// Next picks the smallest current key across cursors and concatenates the
+// values of every cursor positioned at it.
+func (m *mergedGroups) Next() bool {
+	if m.err != nil {
+		return false
+	}
+	var minKey []byte
+	found := false
+	for _, c := range m.cursors {
+		if c.err != nil {
+			m.err = c.err
+			return false
+		}
+		if !c.live {
+			continue
+		}
+		if !found || bytes.Compare(c.r.Key(), minKey) < 0 {
+			minKey = c.r.Key()
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	m.key = append([]byte(nil), minKey...)
+	m.values = m.values[:0]
+	for _, c := range m.cursors {
+		if c.live && bytes.Equal(c.r.Key(), minKey) {
+			m.values = append(m.values, c.r.Values()...)
+			c.advance()
+			if c.err != nil {
+				m.err = c.err
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *mergedGroups) Key() []byte      { return m.key }
+func (m *mergedGroups) Values() [][]byte { return m.values }
+func (m *mergedGroups) Err() error       { return m.err }

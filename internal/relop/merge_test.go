@@ -1,0 +1,129 @@
+package relop
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tez/internal/runtime"
+)
+
+// sliceGroups is a GroupedKVReader over in-memory groups.
+type sliceGroups struct {
+	keys [][]byte
+	vals [][][]byte
+	pos  int
+}
+
+func (s *sliceGroups) Next() bool {
+	if s.pos >= len(s.keys) {
+		return false
+	}
+	s.pos++
+	return true
+}
+func (s *sliceGroups) Key() []byte      { return s.keys[s.pos-1] }
+func (s *sliceGroups) Values() [][]byte { return s.vals[s.pos-1] }
+func (s *sliceGroups) Err() error       { return nil }
+
+func TestMergeGroupReadersCombinesEqualKeys(t *testing.T) {
+	a := &sliceGroups{
+		keys: [][]byte{[]byte("a"), []byte("c")},
+		vals: [][][]byte{{[]byte("a1")}, {[]byte("c1"), []byte("c2")}},
+	}
+	b := &sliceGroups{
+		keys: [][]byte{[]byte("a"), []byte("b")},
+		vals: [][][]byte{{[]byte("a2")}, {[]byte("b1")}},
+	}
+	m := mergeGroupReaders([]runtime.GroupedKVReader{a, b})
+	type got struct {
+		key  string
+		vals int
+	}
+	var out []got
+	for m.Next() {
+		out = append(out, got{string(m.Key()), len(m.Values())})
+	}
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	want := []got{{"a", 2}, {"b", 1}, {"c", 2}}
+	if len(out) != len(want) {
+		t.Fatalf("groups = %+v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("group %d = %+v, want %+v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMergeGroupReadersSinglePassThrough(t *testing.T) {
+	a := &sliceGroups{keys: [][]byte{[]byte("x")}, vals: [][][]byte{{[]byte("1")}}}
+	m := mergeGroupReaders([]runtime.GroupedKVReader{a})
+	if m != runtime.GroupedKVReader(a) {
+		t.Fatal("single reader should pass through unwrapped")
+	}
+}
+
+// Property: merging R sorted group streams yields all keys in order with
+// value counts summed across streams.
+func TestQuickMergeGroupReaders(t *testing.T) {
+	f := func(seed int64, readersRaw, keysRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		readers := int(readersRaw%4) + 1
+		keySpace := int(keysRaw%12) + 1
+		wantCount := map[string]int{}
+		var rs []runtime.GroupedKVReader
+		for r := 0; r < readers; r++ {
+			// Each reader holds a sorted subset of the key space.
+			var keys [][]byte
+			var vals [][][]byte
+			for k := 0; k < keySpace; k++ {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				key := fmt.Sprintf("k%03d", k)
+				n := 1 + rng.Intn(3)
+				var vv [][]byte
+				for i := 0; i < n; i++ {
+					vv = append(vv, []byte{byte(i)})
+				}
+				keys = append(keys, []byte(key))
+				vals = append(vals, vv)
+				wantCount[key] += n
+			}
+			rs = append(rs, &sliceGroups{keys: keys, vals: vals})
+		}
+		m := mergeGroupReaders(rs)
+		gotCount := map[string]int{}
+		var prev string
+		for m.Next() {
+			k := string(m.Key())
+			if prev != "" && k <= prev {
+				return false // keys must be strictly increasing
+			}
+			prev = k
+			gotCount[k] = len(m.Values())
+		}
+		if m.Err() != nil || len(gotCount) != len(wantCount) {
+			return false
+		}
+		keys := make([]string, 0, len(wantCount))
+		for k := range wantCount {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if gotCount[k] != wantCount[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package relop
+
+import (
+	"tez/internal/dfs"
+	"tez/internal/library"
+	"tez/internal/plugin"
+	"tez/internal/row"
+	"tez/internal/runtime"
+)
+
+// PruneInitializerName is the dynamic-partition-pruning initializer of
+// §3.5: before the scan vertex's tasks run, it waits for
+// InputInitializerEvents carrying the relevant join-key values from the
+// tasks of another vertex, keeps only the partitioned files whose
+// partition value occurs in that set, and then performs normal split
+// calculation on the survivors.
+const PruneInitializerName = "relop.prune_initializer"
+
+func init() {
+	runtime.RegisterInitializer(PruneInitializerName, func() runtime.Initializer {
+		return pruneInitializer{}
+	})
+}
+
+// PruneInitializerConfig is the initializer's opaque payload.
+type PruneInitializerConfig struct {
+	// Files and PartitionVals describe the partitioned table: file i holds
+	// the rows whose partition column equals PartitionVals[i].
+	Files         []string
+	PartitionVals []row.Value
+	// SourceVertex produces the key values; one event per task is awaited.
+	SourceVertex     string
+	DesiredSplitSize int64
+}
+
+type pruneInitializer struct{}
+
+// Run waits for the pruning events, filters the file list, and computes
+// splits.
+func (pruneInitializer) Run(ctx *runtime.InitializerContext) (*runtime.InitializerResult, error) {
+	var cfg PruneInitializerConfig
+	if err := plugin.Decode(ctx.Payload, &cfg); err != nil {
+		return nil, err
+	}
+	expect := 1
+	if ctx.VertexParallelism != nil {
+		if p := ctx.VertexParallelism(cfg.SourceVertex); p > 0 {
+			expect = p
+		}
+	}
+	wanted := map[string]bool{}
+	for seen := 0; seen < expect; seen++ {
+		ev, ok := ctx.Events.Get()
+		if !ok {
+			break // DAG torn down
+		}
+		var pv PruneValues
+		if err := plugin.Decode(ev.Payload, &pv); err != nil {
+			return nil, err
+		}
+		for _, v := range pv.Values {
+			wanted[string(row.EncodeKey(nil, v))] = true
+		}
+	}
+
+	var keep []string
+	for i, f := range cfg.Files {
+		if i < len(cfg.PartitionVals) {
+			key := string(row.EncodeKey(nil, cfg.PartitionVals[i]))
+			if !wanted[key] {
+				continue
+			}
+		}
+		keep = append(keep, f)
+	}
+
+	var all []dfs.Split
+	for _, p := range keep {
+		splits, err := ctx.FS.Splits(p, cfg.DesiredSplitSize)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, splits...)
+	}
+	par := len(all)
+	if par == 0 {
+		par = 1 // a vertex needs at least one (empty) task
+	}
+	res := &runtime.InitializerResult{Parallelism: par}
+	for t := 0; t < par; t++ {
+		var mine []dfs.Split
+		if t < len(all) {
+			mine = []dfs.Split{all[t]}
+		}
+		res.PerTaskPayload = append(res.PerTaskPayload, plugin.MustEncode(library.SplitAssignment{Splits: mine}))
+		var hints []string
+		if len(mine) > 0 {
+			hints = mine[0].Hosts
+		}
+		res.LocationHints = append(res.LocationHints, hints)
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package relop
+
+import (
+	"math/rand"
+	"testing"
+
+	"tez/internal/am"
+	"tez/internal/row"
+)
+
+func TestRangeSortGlobalOrder(t *testing.T) {
+	h := newHarness(t)
+	defer h.close()
+	rng := rand.New(rand.NewSource(7))
+	const n = 2000
+	rows := make([]row.Row, n)
+	for i := range rows {
+		rows[i] = row.Row{row.Int(rng.Int63n(100000)), row.Int(int64(i))}
+	}
+	tb := h.table("rsort", row.NewSchema("k:int", "v:int"), 4, rows)
+
+	sess := am.NewSession(h.plat, am.Config{Name: "rs"})
+	defer sess.Close()
+	root := StoreNode(RangeSortNode(Scan(tb), []*Expr{Col(0)}, []bool{false}, 0, 4), "/out/rs")
+	res, err := RunTez(sess, Config{DefaultPartitions: 4}, "rs", []*Node{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStored(h.plat.FS, "/out/rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("rows = %d", len(got))
+	}
+	// Part files concatenate in partition order → globally sorted.
+	for i := 1; i < len(got); i++ {
+		if row.Compare(got[i-1][0], got[i][0]) > 0 {
+			t.Fatalf("order broken at %d: %v > %v", i, got[i-1][0], got[i][0])
+		}
+	}
+	// The point of range partitioning is parallel sorting: more than one
+	// task must have produced output (part files).
+	if parts := len(h.plat.FS.List("/out/rs/part-")); parts < 2 {
+		t.Fatalf("range sort used %d partitions", parts)
+	}
+	_ = res
+}
+
+func TestRangeSortDescending(t *testing.T) {
+	h := newHarness(t)
+	defer h.close()
+	rows := make([]row.Row, 500)
+	for i := range rows {
+		rows[i] = row.Row{row.Int(int64(i * 7 % 501))}
+	}
+	tb := h.table("rsd", row.NewSchema("k:int"), 3, rows)
+	sess := am.NewSession(h.plat, am.Config{Name: "rsd"})
+	defer sess.Close()
+	root := StoreNode(RangeSortNode(Scan(tb), []*Expr{Col(0)}, []bool{true}, 0, 3), "/out/rsd")
+	if _, err := RunTez(sess, Config{}, "rsd", []*Node{root}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStored(h.plat.FS, "/out/rsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if row.Compare(got[i-1][0], got[i][0]) < 0 {
+			t.Fatalf("descending order broken at %d", i)
+		}
+	}
+}
+
+func TestRangeSortMRFallsBackToSingleReducer(t *testing.T) {
+	h := newHarness(t)
+	defer h.close()
+	rows := make([]row.Row, 100)
+	for i := range rows {
+		rows[i] = row.Row{row.Int(int64(99 - i))}
+	}
+	tb := h.table("rsmr", row.NewSchema("k:int"), 2, rows)
+	root := func(out string) []*Node {
+		return []*Node{StoreNode(RangeSortNode(Scan(tb), []*Expr{Col(0)}, []bool{false}, 0, 4), out)}
+	}
+	if _, err := RunMR(h.plat, am.Config{Name: "rsmr"}, Config{}, "rsmr", root("/out/rsmr")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStored(h.plat.FS, "/out/rsmr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if row.Compare(got[i-1][0], got[i][0]) > 0 {
+			t.Fatalf("MR sort order broken at %d", i)
+		}
+	}
+	// Degraded mode: a single reducer produced the output.
+	if parts := len(h.plat.FS.List("/out/rsmr/part-")); parts != 1 {
+		t.Fatalf("MR global sort used %d reducers, want 1", parts)
+	}
+}
+
+func TestSkewJoinCorrectAndBalanced(t *testing.T) {
+	h := newHarness(t)
+	defer h.close()
+	rng := rand.New(rand.NewSource(3))
+	// Zipf-ish: many rows on few keys.
+	z := rand.NewZipf(rng, 1.3, 1, 49)
+	const n = 3000
+	left := make([]row.Row, n)
+	counts := map[int64]int64{}
+	for i := range left {
+		k := int64(z.Uint64())
+		counts[k]++
+		left[i] = row.Row{row.Int(k), row.Int(int64(i))}
+	}
+	right := make([]row.Row, 50)
+	for i := range right {
+		right[i] = row.Row{row.Int(int64(i)), row.Int(int64(i * 100))}
+	}
+	lt := h.table("skl", row.NewSchema("k:int", "v:int"), 4, left)
+	rt := h.table("skr", row.NewSchema("k:int", "w:int"), 2, right)
+
+	sess := am.NewSession(h.plat, am.Config{Name: "skew", DisableAutoParallelism: true})
+	defer sess.Close()
+	j := SkewJoinNode(Scan(lt), Scan(rt), []*Expr{Col(0)}, []*Expr{Col(0)}, 4)
+	agg := AggNode(j, nil, nil, []AggDef{{Func: "count", Name: "n"}})
+	if _, err := RunTez(sess, Config{DefaultPartitions: 4}, "skew", []*Node{StoreNode(agg, "/out/skew")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStored(h.plat.FS, "/out/skew")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, r := range got {
+		total += r[0].AsInt()
+	}
+	// Every left row matches exactly one right row.
+	if total != n {
+		t.Fatalf("join produced %d rows, want %d", total, n)
+	}
+}

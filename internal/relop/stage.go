@@ -1,0 +1,112 @@
+package relop
+
+// The stage language: what one Tez vertex (or one MR map/reduce phase)
+// executes. StageSpec is carried as the opaque processor payload — the
+// "code injection via configuration" pattern of §3.2.
+
+// Input modes.
+const (
+	// InSource reads a DFS root input (rows in record-file values).
+	InSource = "source"
+	// InUnordered reads a broadcast/one-to-one/unordered edge.
+	InUnordered = "unordered"
+	// InGrouped reads an ordered, grouped shuffle edge.
+	InGrouped = "grouped"
+	// InBuild reads an unordered edge into a hash-join build table (not
+	// part of the stage's row stream).
+	InBuild = "build"
+)
+
+// StageInput declares one named input of the stage. Edge inputs are named
+// after their source vertex (the runner's convention); root inputs after
+// their data source.
+type StageInput struct {
+	Name string
+	Mode string
+	// BuildKeys evaluate the hash-table key on build rows (InBuild).
+	BuildKeys []*Expr
+	// CacheInRegistry shares the built hash table through the container's
+	// object registry (§4.2); ablation toggles it off.
+	CacheInRegistry bool
+}
+
+// GroupOp is the operation applied to a grouped input.
+type GroupOp struct {
+	// Kind: "join", "agg", "sort", "distinct".
+	Kind string
+	// join: number of tagged sides.
+	Sides int
+	// agg: first GroupWidth value columns are the group key; aggregate i
+	// reads value column GroupWidth+i.
+	GroupWidth int
+	Aggs       []AggFuncSpec
+	// sort: stop after Limit rows (0 = all).
+	Limit int
+}
+
+// AggFuncSpec is one aggregate function over a fixed value column.
+type AggFuncSpec struct {
+	Func string // sum, count, min, max, avg
+	Col  int
+}
+
+// PipeOp is one step of a row pipeline.
+type PipeOp struct {
+	// Kind: "filter", "project", "hashjoin".
+	Kind    string
+	Filter  *Expr
+	Project []*Expr
+	HJ      *HashJoinSpec
+}
+
+// HashJoinSpec probes a build input's hash table; for each match the
+// output row is probe ++ build.
+type HashJoinSpec struct {
+	// Input names the InBuild stage input.
+	Input string
+	// ProbeKeys evaluate the lookup key on the probe row.
+	ProbeKeys []*Expr
+}
+
+// Emit kinds.
+const (
+	// EmitShuffle writes (orderable key, row) to a scatter-gather edge.
+	EmitShuffle = "shuffle"
+	// EmitBroadcast writes rows to a broadcast/unordered edge.
+	EmitBroadcast = "broadcast"
+	// EmitSink writes rows to a DFS data sink.
+	EmitSink = "sink"
+	// EmitInitializer sends each row's key value to a data-source
+	// initializer as an InputInitializerEvent (dynamic partition pruning).
+	EmitInitializer = "initializer"
+	// EmitVM sends the stage's rows to a VertexManager as a
+	// VertexManagerEvent payload (sample histograms).
+	EmitVM = "vm"
+)
+
+// EmitSpec writes the stage's rows somewhere, after its own pipeline.
+// For "map" stages Input names which stage input's rows feed this emit
+// (union branches differ); for grouped stages Input is empty (group
+// output).
+type EmitSpec struct {
+	Input  string
+	Output string // output/sink name, or target vertex for initializer/vm
+	Kind   string
+	Pipe   []PipeOp
+	// shuffle: key expressions and per-key descending flags.
+	Keys []*Expr
+	Desc []bool
+	// Tag >= 0 prefixes values with a join-side tag byte.
+	Tag int
+	// SampleRate in (0,1] emits only a deterministic sample of rows.
+	SampleRate float64
+	// initializer: the data source name at the target vertex.
+	TargetSource string
+}
+
+// StageSpec is the full program of one stage.
+type StageSpec struct {
+	Inputs []StageInput
+	Group  *GroupOp // nil for map stages
+	Emits  []EmitSpec
+}

@@ -1,0 +1,80 @@
+// Package security implements the token-based authentication of §4.3 in
+// miniature: "secure Hadoop provides Kerberos and token based
+// authentication for applications to access storage or compute resources
+// and Tez integrates with the secure APIs exposed by Hadoop".
+//
+// An Authority issues HMAC-SHA256 tokens scoped to one DAG. The shuffle
+// service — the place where one application's intermediate data is
+// exposed to the network — verifies them on registration and fetch, so a
+// task can only touch the data plane of its own DAG. Tokens are revoked
+// when the DAG finishes, which also shuts out zombie task attempts that
+// outlive their DAG (§4.1's "tasks are typically executed in their
+// dependency order" teardown).
+package security
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"sync"
+)
+
+// ErrUnauthorized rejects a missing, forged or revoked token.
+var ErrUnauthorized = errors.New("security: unauthorized")
+
+// Token is an opaque credential scoped to one DAG.
+type Token []byte
+
+// Authority issues and verifies per-DAG tokens.
+type Authority struct {
+	mu      sync.Mutex
+	key     []byte
+	revoked map[string]bool
+}
+
+// NewAuthority creates an authority with a fresh random key.
+func NewAuthority() *Authority {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return &Authority{key: key, revoked: map[string]bool{}}
+}
+
+// Issue mints the token for a DAG (idempotent: same DAG → same token).
+// Issuing un-revokes a previously revoked scope (AM recovery re-issues
+// for the same run id).
+func (a *Authority) Issue(dag string) Token {
+	a.mu.Lock()
+	delete(a.revoked, dag)
+	a.mu.Unlock()
+	return a.sign(dag)
+}
+
+func (a *Authority) sign(dag string) Token {
+	m := hmac.New(sha256.New, a.key)
+	m.Write([]byte(dag))
+	return m.Sum(nil)
+}
+
+// Verify checks that tok is the live token for dag.
+func (a *Authority) Verify(dag string, tok Token) error {
+	a.mu.Lock()
+	revoked := a.revoked[dag]
+	a.mu.Unlock()
+	if revoked {
+		return ErrUnauthorized
+	}
+	if !hmac.Equal(a.sign(dag), tok) {
+		return ErrUnauthorized
+	}
+	return nil
+}
+
+// Revoke invalidates a DAG's token (called when the DAG terminates).
+func (a *Authority) Revoke(dag string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.revoked[dag] = true
+}

@@ -1,0 +1,347 @@
+// Package shuffle implements the stand-in for the YARN Shuffle Service:
+// per-node storage of partitioned task outputs plus the fetch path the
+// built-in Tez inputs/outputs use to move intermediate data (§4.1).
+//
+// Like the real service it lives outside the orchestrator — Tez is not on
+// the data plane; producers register partitioned output under their node,
+// consumers fetch partitions by output id. The cost model charges per-byte
+// transfer delays by topology distance (same node / same rack / cross
+// rack), transient network errors can be injected and are retried with
+// backoff by Fetcher, and node failure makes data unavailable, which is
+// what drives the InputReadError → producer re-execution fault-tolerance
+// path (§4.3).
+package shuffle
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tez/internal/security"
+)
+
+// Errors reported by the service.
+var (
+	// ErrDataLost is fatal for the fetch: the output no longer exists
+	// (never produced here, deleted, or its node died). The consumer must
+	// report an input read error so the producer is re-executed.
+	ErrDataLost = errors.New("shuffle: output data lost")
+	// ErrTransient is a retryable network-style failure.
+	ErrTransient = errors.New("shuffle: transient fetch error")
+)
+
+// Config is the transfer cost and fault-injection model.
+type Config struct {
+	// FetchBaseLatency is charged once per fetch.
+	FetchBaseLatency time.Duration
+	// DelayPerByteLocal/Rack/Remote charge per byte by topology distance.
+	DelayPerByteLocal  time.Duration
+	DelayPerByteRack   time.Duration
+	DelayPerByteRemote time.Duration
+	// TransientErrorRate in [0,1) injects retryable fetch failures.
+	TransientErrorRate float64
+	// Seed for the error-injection RNG. Zero means 1.
+	Seed int64
+}
+
+// OutputID names one task attempt's registered output. Name distinguishes
+// the several logical outputs a task may have (one per out-edge).
+type OutputID struct {
+	DAG     string
+	Vertex  string
+	Name    string
+	Task    int
+	Attempt int
+}
+
+func (id OutputID) String() string {
+	return fmt.Sprintf("%s/%s/%s/t%03d_a%d", id.DAG, id.Vertex, id.Name, id.Task, id.Attempt)
+}
+
+type output struct {
+	node       string
+	partitions [][]byte
+}
+
+// Service is the cluster-wide shuffle registry.
+type Service struct {
+	cfg Config
+
+	auth *security.Authority
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	outputs map[OutputID]*output
+	racks   map[string]string
+	live    map[string]bool
+	sleep   func(time.Duration)
+
+	bytesFetched int64
+	localFetches int64
+	rackFetches  int64
+	otherFetches int64
+}
+
+// New creates an empty shuffle service.
+func New(cfg Config) *Service {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Service{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		outputs: make(map[OutputID]*output),
+		racks:   make(map[string]string),
+		live:    make(map[string]bool),
+		sleep:   time.Sleep,
+	}
+}
+
+// SetAuthority turns on token-based access control (§4.3): every
+// registration and fetch must then present the live token of the DAG the
+// output belongs to. In a secure cluster the shuffle service authenticates
+// access to intermediate data; here the authority plays that role.
+func (s *Service) SetAuthority(a *security.Authority) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.auth = a
+}
+
+// authorize verifies tok against the DAG scope when security is on.
+func (s *Service) authorize(dag string, tok security.Token) error {
+	s.mu.Lock()
+	auth := s.auth
+	s.mu.Unlock()
+	if auth == nil {
+		return nil
+	}
+	return auth.Verify(dag, tok)
+}
+
+// AddNode registers (or revives) a node's shuffle server.
+func (s *Service) AddNode(node, rack string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.racks[node] = rack
+	s.live[node] = true
+}
+
+// FailNode drops the node's shuffle server and all outputs stored there.
+func (s *Service) FailNode(node string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.live[node] = false
+	for id, o := range s.outputs {
+		if o.node == node {
+			delete(s.outputs, id)
+		}
+	}
+}
+
+// Register stores the partitioned output of a task attempt under node.
+// Registering on a dead node fails (the zombie-task case). With an
+// authority configured, the caller must present the DAG's live token.
+func (s *Service) Register(node string, id OutputID, partitions [][]byte, tok ...security.Token) error {
+	var t security.Token
+	if len(tok) > 0 {
+		t = tok[0]
+	}
+	if err := s.authorize(id.DAG, t); err != nil {
+		return fmt.Errorf("shuffle: register %s: %w", id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.live[node] {
+		return fmt.Errorf("shuffle: register on dead node %s: %w", node, ErrDataLost)
+	}
+	cp := make([][]byte, len(partitions))
+	for i, p := range partitions {
+		cp[i] = append([]byte(nil), p...)
+	}
+	s.outputs[id] = &output{node: node, partitions: cp}
+	return nil
+}
+
+// Unregister removes one output (e.g. a failed attempt's).
+func (s *Service) Unregister(id OutputID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.outputs, id)
+}
+
+// DeleteDAG removes all outputs of a DAG (teardown) and returns the count.
+func (s *Service) DeleteDAG(dag string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id := range s.outputs {
+		if id.DAG == dag {
+			delete(s.outputs, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Node returns the node an output lives on.
+func (s *Service) Node(id OutputID) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.outputs[id]
+	if !ok {
+		return "", false
+	}
+	return o.node, true
+}
+
+// PartitionSizes reports the byte size of each partition of an output.
+func (s *Service) PartitionSizes(id OutputID) ([]int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.outputs[id]
+	if !ok {
+		return nil, fmt.Errorf("shuffle: %s: %w", id, ErrDataLost)
+	}
+	out := make([]int64, len(o.partitions))
+	for i, p := range o.partitions {
+		out[i] = int64(len(p))
+	}
+	return out, nil
+}
+
+// Fetch returns partition p of output id, charging the transfer cost to
+// readerNode's distance. It may fail with ErrTransient (injected) or
+// ErrDataLost (missing output or dead node).
+func (s *Service) Fetch(id OutputID, partition int, readerNode string, tok ...security.Token) ([]byte, error) {
+	data, delay, err := s.FetchNoWait(id, partition, readerNode, tok...)
+	if err != nil {
+		return nil, err
+	}
+	if delay > 0 {
+		s.sleep(delay)
+	}
+	return data, nil
+}
+
+// FetchNoWait is Fetch with the transfer cost returned instead of slept —
+// consumers doing many small fetches accumulate the owed delay and sleep
+// in coarse chunks (sub-millisecond sleeps round up to the OS timer
+// granularity, which would inflate the cost model by 10–30×).
+func (s *Service) FetchNoWait(id OutputID, partition int, readerNode string, tok ...security.Token) ([]byte, time.Duration, error) {
+	var t security.Token
+	if len(tok) > 0 {
+		t = tok[0]
+	}
+	if err := s.authorize(id.DAG, t); err != nil {
+		return nil, 0, fmt.Errorf("shuffle: fetch %s: %w", id, err)
+	}
+	s.mu.Lock()
+	o, ok := s.outputs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("shuffle: %s p%d: %w", id, partition, ErrDataLost)
+	}
+	if !s.live[o.node] {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("shuffle: %s node %s down: %w", id, o.node, ErrDataLost)
+	}
+	if partition < 0 || partition >= len(o.partitions) {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("shuffle: %s has no partition %d", id, partition)
+	}
+	if s.cfg.TransientErrorRate > 0 && s.rng.Float64() < s.cfg.TransientErrorRate {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("shuffle: %s p%d: %w", id, partition, ErrTransient)
+	}
+	data := o.partitions[partition]
+	var perByte time.Duration
+	switch {
+	case o.node == readerNode:
+		perByte = s.cfg.DelayPerByteLocal
+		s.localFetches++
+	case s.racks[o.node] != "" && s.racks[o.node] == s.racks[readerNode]:
+		perByte = s.cfg.DelayPerByteRack
+		s.rackFetches++
+	default:
+		perByte = s.cfg.DelayPerByteRemote
+		s.otherFetches++
+	}
+	s.bytesFetched += int64(len(data))
+	delay := s.cfg.FetchBaseLatency + time.Duration(len(data))*perByte
+	s.mu.Unlock()
+	return data, delay, nil
+}
+
+// Stats is a snapshot of fetch-path counters.
+type Stats struct {
+	BytesFetched int64
+	LocalFetches int64
+	RackFetches  int64
+	OtherFetches int64
+	Outputs      int
+}
+
+// Stats returns current counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		BytesFetched: s.bytesFetched,
+		LocalFetches: s.localFetches,
+		RackFetches:  s.rackFetches,
+		OtherFetches: s.otherFetches,
+		Outputs:      len(s.outputs),
+	}
+}
+
+// Fetcher wraps Fetch with bounded retry and exponential backoff on
+// transient errors — the "temporary network errors are retried with
+// back-off before reporting an error event" behaviour of §4.3.
+type Fetcher struct {
+	Service    *Service
+	MaxRetries int           // total attempts = MaxRetries+1; default 3 retries
+	Backoff    time.Duration // initial backoff, doubled per retry; default 1ms
+
+	// Token authenticates fetches when the service has an authority.
+	Token security.Token
+
+	// Retries counts transient errors absorbed (observable in tests).
+	Retries int
+
+	// owed accumulates transfer delay until it is worth an OS sleep.
+	owed time.Duration
+}
+
+// Fetch retrieves one partition, retrying transient failures.
+func (f *Fetcher) Fetch(id OutputID, partition int, readerNode string) ([]byte, error) {
+	retries := f.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := f.Backoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		data, delay, err := f.Service.FetchNoWait(id, partition, readerNode, f.Token)
+		if err == nil {
+			f.owed += delay
+			if f.owed >= time.Millisecond {
+				time.Sleep(f.owed)
+				f.owed = 0
+			}
+			return data, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrTransient) {
+			return nil, err
+		}
+		f.Retries++
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return nil, fmt.Errorf("shuffle: retries exhausted: %w", lastErr)
+}

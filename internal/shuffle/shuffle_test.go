@@ -1,0 +1,205 @@
+package shuffle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func newService(nodes int) *Service {
+	s := New(Config{})
+	for i := 0; i < nodes; i++ {
+		s.AddNode(fmt.Sprintf("n%d", i), fmt.Sprintf("r%d", i%2))
+	}
+	return s
+}
+
+func oid(task, attempt int) OutputID {
+	return OutputID{DAG: "dag1", Vertex: "v1", Task: task, Attempt: attempt}
+}
+
+func TestRegisterFetchRoundTrip(t *testing.T) {
+	s := newService(3)
+	parts := [][]byte{[]byte("p0"), []byte("p1-data"), nil}
+	if err := s.Register("n0", oid(0, 0), parts); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range parts {
+		got, err := s.Fetch(oid(0, 0), i, "n1")
+		if err != nil {
+			t.Fatalf("fetch p%d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("p%d = %q want %q", i, got, want)
+		}
+	}
+	sizes, err := s.PartitionSizes(oid(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes[0] != 2 || sizes[1] != 7 || sizes[2] != 0 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestFetchMissingIsDataLost(t *testing.T) {
+	s := newService(2)
+	if _, err := s.Fetch(oid(9, 0), 0, "n0"); !errors.Is(err, ErrDataLost) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFetchBadPartition(t *testing.T) {
+	s := newService(2)
+	if err := s.Register("n0", oid(0, 0), [][]byte{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(oid(0, 0), 5, "n0"); err == nil {
+		t.Fatal("fetch of out-of-range partition succeeded")
+	}
+}
+
+func TestNodeFailureLosesOutputs(t *testing.T) {
+	s := newService(3)
+	if err := s.Register("n0", oid(0, 0), [][]byte{[]byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("n1", oid(1, 0), [][]byte{[]byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	s.FailNode("n0")
+	if _, err := s.Fetch(oid(0, 0), 0, "n2"); !errors.Is(err, ErrDataLost) {
+		t.Fatalf("fetch from dead node: %v", err)
+	}
+	if _, err := s.Fetch(oid(1, 0), 0, "n2"); err != nil {
+		t.Fatalf("unrelated output lost: %v", err)
+	}
+	if err := s.Register("n0", oid(2, 0), [][]byte{{1}}); !errors.Is(err, ErrDataLost) {
+		t.Fatalf("register on dead node: %v", err)
+	}
+}
+
+func TestDeleteDAG(t *testing.T) {
+	s := newService(2)
+	_ = s.Register("n0", OutputID{DAG: "a", Vertex: "v", Task: 0}, [][]byte{{1}})
+	_ = s.Register("n0", OutputID{DAG: "a", Vertex: "v", Task: 1}, [][]byte{{1}})
+	_ = s.Register("n0", OutputID{DAG: "b", Vertex: "v", Task: 0}, [][]byte{{1}})
+	if n := s.DeleteDAG("a"); n != 2 {
+		t.Fatalf("DeleteDAG = %d", n)
+	}
+	if s.Stats().Outputs != 1 {
+		t.Fatalf("outputs left = %d", s.Stats().Outputs)
+	}
+}
+
+func TestTopologyCounters(t *testing.T) {
+	s := newService(4) // n0,n2 on r0; n1,n3 on r1
+	_ = s.Register("n0", oid(0, 0), [][]byte{[]byte("data")})
+	if _, err := s.Fetch(oid(0, 0), 0, "n0"); err != nil { // local
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(oid(0, 0), 0, "n2"); err != nil { // same rack
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(oid(0, 0), 0, "n1"); err != nil { // cross rack
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.LocalFetches != 1 || st.RackFetches != 1 || st.OtherFetches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesFetched != 12 {
+		t.Fatalf("bytes = %d", st.BytesFetched)
+	}
+}
+
+func TestRegisterCopiesData(t *testing.T) {
+	s := newService(1)
+	buf := []byte("orig")
+	_ = s.Register("n0", oid(0, 0), [][]byte{buf})
+	buf[0] = 'X'
+	got, _ := s.Fetch(oid(0, 0), 0, "n0")
+	if string(got) != "orig" {
+		t.Fatalf("registered data aliased caller buffer: %q", got)
+	}
+}
+
+func TestFetcherRetriesTransient(t *testing.T) {
+	s := New(Config{TransientErrorRate: 0.5, Seed: 42})
+	s.AddNode("n0", "r0")
+	_ = s.Register("n0", oid(0, 0), [][]byte{[]byte("x")})
+	f := &Fetcher{Service: s, MaxRetries: 50, Backoff: 1}
+	got, err := f.Fetch(oid(0, 0), 0, "n0")
+	if err != nil {
+		t.Fatalf("fetch with retries: %v", err)
+	}
+	if string(got) != "x" {
+		t.Fatalf("got %q", got)
+	}
+	// With a 50% error rate and 200 fetches, some retries must occur.
+	for i := 0; i < 200; i++ {
+		if _, err := f.Fetch(oid(0, 0), 0, "n0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Retries == 0 {
+		t.Fatal("expected transient retries")
+	}
+}
+
+func TestFetcherFatalIsNotRetried(t *testing.T) {
+	s := newService(1)
+	f := &Fetcher{Service: s, MaxRetries: 3, Backoff: 1}
+	if _, err := f.Fetch(oid(0, 0), 0, "n0"); !errors.Is(err, ErrDataLost) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.Retries != 0 {
+		t.Fatal("fatal error was retried")
+	}
+}
+
+func TestAttemptIsolation(t *testing.T) {
+	s := newService(2)
+	_ = s.Register("n0", oid(0, 0), [][]byte{[]byte("attempt0")})
+	_ = s.Register("n1", oid(0, 1), [][]byte{[]byte("attempt1")})
+	g0, _ := s.Fetch(oid(0, 0), 0, "n0")
+	g1, _ := s.Fetch(oid(0, 1), 0, "n0")
+	if string(g0) != "attempt0" || string(g1) != "attempt1" {
+		t.Fatalf("attempts collided: %q %q", g0, g1)
+	}
+	s.Unregister(oid(0, 0))
+	if _, err := s.Fetch(oid(0, 0), 0, "n0"); !errors.Is(err, ErrDataLost) {
+		t.Fatal("unregistered output still fetchable")
+	}
+}
+
+// Property: fetch returns exactly what was registered for every partition.
+func TestQuickRegisterFetch(t *testing.T) {
+	f := func(parts [][]byte) bool {
+		s := newService(3)
+		if err := s.Register("n0", oid(0, 0), parts); err != nil {
+			return false
+		}
+		for i, want := range parts {
+			got, err := s.Fetch(oid(0, 0), i, "n1")
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		sizes, err := s.PartitionSizes(oid(0, 0))
+		if err != nil || len(sizes) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if sizes[i] != int64(len(parts[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
