@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate plus the race detector; CI runs exactly this.
+check: build vet race
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x .

@@ -56,5 +56,6 @@ func BenchmarkAblationAutoParallelism(b *testing.B)  { runFigure(b, bench.Ablati
 func BenchmarkAblationPartitionPruning(b *testing.B) { runFigure(b, bench.AblationPartitionPruning) }
 func BenchmarkAblationLocality(b *testing.B)         { runFigure(b, bench.AblationLocality) }
 func BenchmarkAblationSlowStart(b *testing.B)        { runFigure(b, bench.AblationSlowStart) }
+func BenchmarkAblationParallelFetch(b *testing.B)    { runFigure(b, bench.AblationParallelFetch) }
 func BenchmarkAblationObjectRegistry(b *testing.B)   { runFigure(b, bench.AblationObjectRegistry) }
 func BenchmarkAblationSpeculation(b *testing.B)      { runFigure(b, bench.AblationSpeculation) }

@@ -374,9 +374,12 @@ func TestPrewarmedSessionHasIdleContainers(t *testing.T) {
 		ContainerIdleRelease: time.Second,
 	})
 	defer s.Close()
+	// Wait on the scheduler's own counter, not just HeldContainers: the
+	// RM-side count leads the session event loop, so held can reach 3
+	// before the scheduler has processed a single allocation.
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if s.app.HeldContainers() >= 3 {
+		if a, _ := s.SchedulerStats(); a >= 3 && s.app.HeldContainers() >= 3 {
 			break
 		}
 		time.Sleep(time.Millisecond)

@@ -110,13 +110,18 @@ func (r *dagRun) onAssigned(at *attemptState, pc *pooledContainer) {
 	r.counters.Add("LOCALITY_"+pc.c.Locality.String(), 1)
 
 	spec := r.buildTaskSpec(at)
+	fetchPar := r.session.cfg.ShuffleFetchParallelism
+	if r.session.cfg.DisableParallelFetch {
+		fetchPar = 1
+	}
 	services := runtime.Services{
-		FS:       r.session.plat.FS,
-		Shuffle:  r.session.plat.Shuffle,
-		Node:     at.node,
-		Registry: pc.registry,
-		Counters: r.counters,
-		Token:    r.token,
+		FS:               r.session.plat.FS,
+		Shuffle:          r.session.plat.Shuffle,
+		Node:             at.node,
+		Registry:         pc.registry,
+		Counters:         r.counters,
+		Token:            r.token,
+		FetchParallelism: fetchPar,
 	}
 	r.replayEvents(at)
 	go func() {

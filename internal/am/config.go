@@ -63,6 +63,15 @@ type Config struct {
 	// MinReducers floors the auto-parallelism estimate (default 1).
 	MinReducers int
 
+	// ShuffleFetchParallelism sets the per-task shuffle fetcher-pool size
+	// (parallel fetcher goroutines per consumer, the fetcher threads of
+	// real Tez). Zero defers to shuffle.Config.FetchParallelism and then
+	// the library default (4); 1 forces serial fetching.
+	ShuffleFetchParallelism int
+	// DisableParallelFetch forces serial shuffle fetching regardless of
+	// ShuffleFetchParallelism (ablation knob for §3.4 overlap).
+	DisableParallelFetch bool
+
 	// DeadlockCheckInterval / DeadlockWait configure detection of
 	// scheduling deadlocks caused by out-of-order task scheduling: when
 	// requests have been starved for DeadlockWait while a descendant of

@@ -57,6 +57,14 @@ type scheduler struct {
 	stats      schedStats
 	lastAssign time.Time
 	closed     bool
+
+	// testHookPreRequest, when set, runs after a request has been queued
+	// as pending but before the RM request is issued — a deterministic
+	// interleaving seam for submit/cancel race tests. Nil in production.
+	testHookPreRequest func(*taskRequest)
+	// testHookPreLaunch, when set, runs in onAllocated just before
+	// Container.Launch — a seam for launch-failure tests.
+	testHookPreLaunch func(*cluster.Container)
 }
 
 func newScheduler(cfg Config, app *cluster.Application) *scheduler {
@@ -66,8 +74,19 @@ func newScheduler(cfg Config, app *cluster.Application) *scheduler {
 // submit requests a container for a task attempt.
 func (s *scheduler) submit(req *taskRequest) {
 	req.created = time.Now()
+	s.enqueue(req)
+}
+
+// enqueue places a request with the scheduler: satisfied from an idle
+// container when possible, otherwise escalated to the RM. Also used by
+// onAllocated to re-submit a request whose container failed to launch.
+// Cancellation can race with this path, so the cancelled flag is checked
+// under the lock before anything is issued and re-checked after the RM
+// request goes out (cancel may have observed rmReq == nil and withdrawn
+// nothing).
+func (s *scheduler) enqueue(req *taskRequest) {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || req.cancelled {
 		s.mu.Unlock()
 		return
 	}
@@ -89,11 +108,23 @@ func (s *scheduler) submit(req *taskRequest) {
 	}
 	req.rmReq = rmReq
 	s.mu.Unlock()
+	if s.testHookPreRequest != nil {
+		s.testHookPreRequest(req)
+	}
 	s.app.Request(rmReq)
+	s.mu.Lock()
+	cancelled := req.cancelled
+	s.mu.Unlock()
+	if cancelled {
+		// cancel ran between the unlock above and the RM request being
+		// issued; withdraw it now (Application.Cancel is idempotent).
+		s.app.Cancel(rmReq)
+	}
 }
 
 // cancel withdraws a request (e.g. the task was satisfied by a speculative
-// twin). Safe if the request was already assigned.
+// twin). Safe if the request was already assigned, and safe to race with
+// submit: enqueue re-checks the flag around its RM request.
 func (s *scheduler) cancel(req *taskRequest) {
 	s.mu.Lock()
 	req.cancelled = true
@@ -162,8 +193,18 @@ func (s *scheduler) onAllocated(c *cluster.Container, rmReq *cluster.ContainerRe
 	s.mu.Unlock()
 
 	// Launch outside locks: this pays the container start overhead.
+	if s.testHookPreLaunch != nil {
+		s.testHookPreLaunch(c)
+	}
 	if err := c.Launch(); err != nil {
+		// The container died between allocation and launch (node loss,
+		// preemption). Its request was already removed from pending, so
+		// discarding alone would strand the task attempt — assign would
+		// never fire. Re-submit the request instead.
 		s.discard(pc)
+		if req != nil {
+			s.enqueue(req)
+		}
 		return
 	}
 	if req != nil {

@@ -236,8 +236,10 @@ func (m *ShuffleVertexManager) reevaluate() {
 				want = cfg.MinReducers
 			}
 			if cur := m.ctx.Parallelism(); want < cur {
-				// Shrinking can only fail on an impossible geometry;
-				// keep the submitted parallelism in that case.
+				// Shrinking fails on an impossible geometry, or when a
+				// downstream consumer already scheduled tasks against the
+				// current routing tables; the submitted parallelism stands
+				// in either case.
 				_ = m.ctx.SetParallelism(want)
 			}
 		}

@@ -63,6 +63,23 @@ func (c *vmContext) SetParallelismWithEdges(n int, edgeManagers map[string]plugi
 				n, vs.v.Name, es.e.To, es.to.parallelism)
 		}
 	}
+	// A consumer that has already scheduled tasks derived its attempts'
+	// physical-input counts from the current out-edge routing tables.
+	// Swapping those tables underneath it strands running attempts waiting
+	// for source tasks that no longer exist, deadlocking the DAG. The
+	// reconfiguration loses the race in that case: the submitted
+	// parallelism stands.
+	for _, es := range run.outEdges[vs.v.Name] {
+		if es.mgr == nil {
+			continue
+		}
+		for _, ts := range es.to.tasks {
+			if ts.state != tPending {
+				return fmt.Errorf("am: SetParallelism(%d) on %s after consumer %s scheduled tasks",
+					n, vs.v.Name, es.e.To)
+			}
+		}
+	}
 
 	// Validate-then-commit: dry-build every affected routing table first so
 	// a failure cannot leave the DAG half-reconfigured.

@@ -312,6 +312,51 @@ func AblationSlowStart(sc Scale) (*Report, error) {
 	return rep, nil
 }
 
+// AblationParallelFetch measures the parallel shuffle fetcher pool
+// (§3.4): with per-byte transfer costs dominated by remote fetches, a
+// reducer pulling many producer outputs pays the max of overlapping
+// transfer delays instead of their sum.
+func AblationParallelFetch(sc Scale) (*Report, error) {
+	cfg := platform.Default(6)
+	// Make the shuffle remote-heavy so serial fetching is the bottleneck:
+	// transfer delay well above the slow-start ablation's, plus a per-fetch
+	// base latency that a serial pump pays once per producer.
+	cfg.Shuffle.FetchBaseLatency = 500 * time.Microsecond
+	cfg.Shuffle.DelayPerByteRemote = 400 * time.Nanosecond
+	cfg.Shuffle.DelayPerByteRack = 300 * time.Nanosecond
+	plat := platform.New(cfg)
+	defer plat.Stop()
+	if err := writeWords(plat, "/bench/words", sc.PigRows*10); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Figure:  "Ablation",
+		Title:   "Parallel shuffle fetchers (§3.4)",
+		Headers: []string{"mode", "total (ms)"},
+	}
+	for _, disable := range []bool{true, false} {
+		// Best of two runs per mode: scheduling jitter at simulation scale
+		// is large relative to the fetch savings being measured.
+		var best time.Duration
+		for rerun := 0; rerun < 2; rerun++ {
+			cfg := am.Config{Name: fmt.Sprintf("pf-%v-%d", !disable, rerun), DisableParallelFetch: disable}
+			dur, _, _, err := timeWordCountSession(plat, cfg, 2)
+			if err != nil {
+				return nil, err
+			}
+			if best == 0 || dur < best {
+				best = dur
+			}
+		}
+		mode := "parallel fetch on"
+		if disable {
+			mode = "parallel fetch off (serial)"
+		}
+		rep.AddRow(mode, ms(best))
+	}
+	return rep, nil
+}
+
 // AblationObjectRegistry measures the shared object registry (§4.2): how
 // many broadcast-join hash tables are built with and without caching.
 func AblationObjectRegistry(sc Scale) (*Report, error) {
@@ -362,6 +407,7 @@ func Ablations(sc Scale) ([]*Report, error) {
 		AblationPartitionPruning,
 		AblationLocality,
 		AblationSlowStart,
+		AblationParallelFetch,
 		AblationObjectRegistry,
 		AblationSpeculation,
 	}

@@ -113,7 +113,7 @@ func TestAblationSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 8 {
+	if len(reps) != 9 {
 		t.Fatalf("ablations = %d", len(reps))
 	}
 	for _, r := range reps {

@@ -3,6 +3,7 @@ package library
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"tez/internal/event"
 	"tez/internal/plugin"
@@ -141,37 +142,72 @@ type kvWriterFunc func(k, v []byte) error
 
 func (f kvWriterFunc) Write(k, v []byte) error { return f(k, v) }
 
+// DefaultFetchParallelism is the fetcher-pool size of a shuffle consumer
+// when neither am.Config.ShuffleFetchParallelism nor
+// shuffle.Config.FetchParallelism overrides it — the counterpart of real
+// Tez's parallel fetcher threads per reducer.
+const DefaultFetchParallelism = 4
+
 // fetchSet is the shared consumer-side machinery of the shuffle inputs:
 // it tracks expected physical inputs, accepts DataMovement events,
-// fetches their data (overlapping with producer completion), honours
-// InputFailed retractions, and surfaces producer data loss as a
-// runtime.InputReadError.
+// fetches their data on a pool of parallel fetcher goroutines
+// (overlapping with producer completion and with each other — the
+// latency-hiding overlap of §3.4), honours InputFailed retractions, and
+// surfaces producer data loss as a runtime.InputReadError.
 type fetchSet struct {
-	ctx *runtime.Context
+	ctx     *runtime.Context
+	fetcher *shuffle.Fetcher // shared by all fetcher goroutines
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	runs     map[int][]byte // physical input index -> fetched data
 	attempt  map[int]int    // physical input index -> producing attempt
 	srcTask  map[int]int    // physical input index -> producing task
+	expect   map[int]int    // physical input index -> latest announced attempt
+	inflight map[int]bool   // physical input indexes currently being fetched
 	pending  []event.DataMovement
 	failure  *runtime.InputReadError
 	stopped  bool
 	fetchers sync.WaitGroup
 	started  bool
 	quit     chan struct{}
+
+	// testHookFetched, when set, is called by a fetcher goroutine after a
+	// fetch completes and before its result is stored — a deterministic
+	// interleaving seam for retraction-race tests. Nil in production.
+	testHookFetched func(event.DataMovement)
 }
 
 func newFetchSet(ctx *runtime.Context) *fetchSet {
 	fs := &fetchSet{
-		ctx:     ctx,
-		runs:    make(map[int][]byte),
-		attempt: make(map[int]int),
-		srcTask: make(map[int]int),
-		quit:    make(chan struct{}),
+		ctx:      ctx,
+		fetcher:  &shuffle.Fetcher{Service: ctx.Services.Shuffle, Token: ctx.Services.Token},
+		runs:     make(map[int][]byte),
+		attempt:  make(map[int]int),
+		srcTask:  make(map[int]int),
+		expect:   make(map[int]int),
+		inflight: make(map[int]bool),
+		quit:     make(chan struct{}),
 	}
 	fs.cond = sync.NewCond(&fs.mu)
 	return fs
+}
+
+// parallelism resolves the fetcher-pool size: per-task override from the
+// AM config (via Services), then the cluster-wide shuffle.Config default,
+// then DefaultFetchParallelism. Values below 1 mean serial.
+func (f *fetchSet) parallelism() int {
+	n := f.ctx.Services.FetchParallelism
+	if n == 0 && f.ctx.Services.Shuffle != nil {
+		n = f.ctx.Services.Shuffle.FetchParallelism()
+	}
+	if n == 0 {
+		n = DefaultFetchParallelism
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // handleEvent records a DataMovement for fetching or an InputFailed
@@ -180,11 +216,15 @@ func (f *fetchSet) handleEvent(ev event.Event) error {
 	switch e := ev.(type) {
 	case event.DataMovement:
 		f.mu.Lock()
+		f.expect[e.TargetInputIndex] = e.SrcAttempt
 		f.pending = append(f.pending, e)
 		f.mu.Unlock()
 		f.cond.Broadcast()
 	case event.InputFailed:
 		f.mu.Lock()
+		if at, ok := f.expect[e.TargetInputIndex]; ok && at == e.SrcAttempt {
+			delete(f.expect, e.TargetInputIndex)
+		}
 		if at, ok := f.attempt[e.TargetInputIndex]; ok && at == e.SrcAttempt {
 			delete(f.runs, e.TargetInputIndex)
 			delete(f.attempt, e.TargetInputIndex)
@@ -196,8 +236,10 @@ func (f *fetchSet) handleEvent(ev event.Event) error {
 	return nil
 }
 
-// start launches the fetch pump. Fetches overlap with remaining producer
-// executions (the latency-hiding overlap of §3.4).
+// start launches the fetcher pool. Fetches overlap with remaining
+// producer executions and with each other (the latency-hiding overlap of
+// §3.4; a reducer with many remote producers pays max, not sum, of the
+// concurrent transfer delays).
 func (f *fetchSet) start() {
 	f.mu.Lock()
 	if f.started {
@@ -206,8 +248,11 @@ func (f *fetchSet) start() {
 	}
 	f.started = true
 	f.mu.Unlock()
-	f.fetchers.Add(1)
-	go f.fetchLoop()
+	n := f.parallelism()
+	f.fetchers.Add(n)
+	for i := 0; i < n; i++ {
+		go f.fetchLoop()
+	}
 	// Watch for an attempt kill so blocked waiters wake up; exits with the
 	// fetch set so reused containers don't accumulate watchers.
 	go func() {
@@ -222,61 +267,112 @@ func (f *fetchSet) start() {
 	}()
 }
 
-// fetchLoop stays alive until close or failure so that replacement
-// movements after an InputFailed retraction are still fetched.
+// nextLocked picks the next fetchable movement: retracted entries are
+// dropped, and an index already being fetched is skipped so two fetchers
+// never race on the same physical input (in-flight dedup).
+func (f *fetchSet) nextLocked() (event.DataMovement, bool) {
+	for i := 0; i < len(f.pending); {
+		dm := f.pending[i]
+		idx := dm.TargetInputIndex
+		if at, ok := f.expect[idx]; !ok || at != dm.SrcAttempt {
+			// Retracted while queued; the replacement has (or will get)
+			// its own DataMovement.
+			f.pending = append(f.pending[:i], f.pending[i+1:]...)
+			continue
+		}
+		if f.inflight[idx] {
+			i++
+			continue
+		}
+		f.pending = append(f.pending[:i], f.pending[i+1:]...)
+		return dm, true
+	}
+	return event.DataMovement{}, false
+}
+
+// fetchLoop is one fetcher goroutine. The pool stays alive until close or
+// failure so that replacement movements after an InputFailed retraction
+// are still fetched.
 func (f *fetchSet) fetchLoop() {
 	defer f.fetchers.Done()
-	fetcher := &shuffle.Fetcher{Service: f.ctx.Services.Shuffle, Token: f.ctx.Services.Token}
 	for {
 		f.mu.Lock()
-		for len(f.pending) == 0 && f.failure == nil && !f.stopped {
+		dm, ok := f.nextLocked()
+		for !ok && f.failure == nil && !f.stopped {
 			f.cond.Wait()
+			dm, ok = f.nextLocked()
 		}
 		if f.failure != nil || f.stopped {
 			f.mu.Unlock()
 			return
 		}
-		dm := f.pending[0]
-		f.pending = f.pending[1:]
+		idx := dm.TargetInputIndex
+		f.inflight[idx] = true
 		f.mu.Unlock()
 
-		var info DMInfo
-		if err := plugin.Decode(dm.Payload, &info); err != nil {
-			f.fail(dm, err)
-			return
-		}
-		data, err := fetcher.Fetch(info.ID, info.Partition, f.ctx.Services.Node)
-		if err != nil {
-			f.fail(dm, err)
-			return
-		}
-		if f.ctx.Services.Counters != nil {
-			f.ctx.Services.Counters.Add("SHUFFLE_BYTES", int64(len(data)))
-		}
+		data, err := f.fetchOne(dm)
+
 		f.mu.Lock()
-		// A retraction may have raced ahead; only store if this movement
-		// is still the expected attempt (last writer wins).
-		f.runs[dm.TargetInputIndex] = data
-		f.attempt[dm.TargetInputIndex] = dm.SrcAttempt
-		f.srcTask[dm.TargetInputIndex] = dm.SrcTask
+		delete(f.inflight, idx)
+		// Only store if this movement is still the expected attempt: an
+		// InputFailed retraction may have raced with the fetch, and a
+		// stale in-flight fetch must not clobber (or fail) the newer
+		// attempt that replaced it.
+		at, live := f.expect[idx]
+		current := live && at == dm.SrcAttempt
+		switch {
+		case err != nil && current:
+			if f.failure == nil {
+				f.failure = &runtime.InputReadError{
+					InputName:  f.ctx.Name,
+					SrcVertex:  dm.SrcVertex,
+					SrcTask:    dm.SrcTask,
+					SrcAttempt: dm.SrcAttempt,
+					Err:        err,
+				}
+			}
+		case err == nil && current:
+			f.runs[idx] = data
+			f.attempt[idx] = dm.SrcAttempt
+			f.srcTask[idx] = dm.SrcTask
+		}
+		// A stale fetch result — success or error — is dropped: the
+		// producer attempt was retracted and is being re-executed.
 		f.mu.Unlock()
 		f.cond.Broadcast()
 	}
 }
 
-func (f *fetchSet) fail(dm event.DataMovement, err error) {
-	f.mu.Lock()
-	if f.failure == nil {
-		f.failure = &runtime.InputReadError{
-			InputName:  f.ctx.Name,
-			SrcVertex:  dm.SrcVertex,
-			SrcTask:    dm.SrcTask,
-			SrcAttempt: dm.SrcAttempt,
-			Err:        err,
+// fetchOne decodes and fetches a single movement, maintaining the
+// fetch-path metrics (in-flight gauge + peak, per-fetch latency, retry
+// and byte counts).
+func (f *fetchSet) fetchOne(dm event.DataMovement) ([]byte, error) {
+	var info DMInfo
+	if err := plugin.Decode(dm.Payload, &info); err != nil {
+		return nil, err
+	}
+	ctr := f.ctx.Services.Counters
+	if ctr != nil {
+		cur := ctr.Add("SHUFFLE_FETCHES_INFLIGHT", 1)
+		ctr.SetMax("SHUFFLE_FETCHES_INFLIGHT_PEAK", cur)
+	}
+	start := time.Now()
+	data, retries, err := f.fetcher.FetchCounted(info.ID, info.Partition, f.ctx.Services.Node)
+	if f.testHookFetched != nil {
+		f.testHookFetched(dm)
+	}
+	if ctr != nil {
+		ctr.Add("SHUFFLE_FETCHES_INFLIGHT", -1)
+		ctr.Add("SHUFFLE_FETCHES", 1)
+		ctr.Add("SHUFFLE_FETCH_TIME_NS", time.Since(start).Nanoseconds())
+		if retries > 0 {
+			ctr.Add("SHUFFLE_FETCH_RETRIES", int64(retries))
+		}
+		if err == nil {
+			ctr.Add("SHUFFLE_BYTES", int64(len(data)))
 		}
 	}
-	f.mu.Unlock()
-	f.cond.Broadcast()
+	return data, err
 }
 
 // wait blocks until every physical input is fetched, an input failed, or

@@ -22,11 +22,24 @@ type Counters struct {
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
 
-// Add increments name by delta.
-func (c *Counters) Add(name string, delta int64) {
+// Add increments name by delta and returns the new value (so callers can
+// maintain gauge-style counters and observe the level they just set).
+func (c *Counters) Add(name string, delta int64) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[name] += delta
+	return c.m[name]
+}
+
+// SetMax raises name to v if v is larger — a high-water mark, used for
+// gauge peaks such as the number of concurrently in-flight shuffle
+// fetches.
+func (c *Counters) SetMax(name string, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v > c.m[name] {
+		c.m[name] = v
+	}
 }
 
 // Get returns the value of name (0 if unset).

@@ -49,6 +49,11 @@ type Services struct {
 	// Token is the DAG's shuffle-access credential on secure clusters
 	// (§4.3); nil when security is off.
 	Token security.Token
+	// FetchParallelism overrides the shuffle fetcher-pool size for this
+	// task's inputs: 0 falls through to the cluster-wide
+	// shuffle.Config.FetchParallelism (and then the library default);
+	// 1 forces serial fetching.
+	FetchParallelism int
 }
 
 // Context is handed to every Input, Processor and Output at Initialize.

@@ -44,6 +44,12 @@ type Config struct {
 	TransientErrorRate float64
 	// Seed for the error-injection RNG. Zero means 1.
 	Seed int64
+	// FetchParallelism is the default number of parallel fetcher
+	// goroutines each shuffle consumer runs (the per-reducer fetcher
+	// thread pool of real Tez). Zero lets consumers fall back to their
+	// own default; 1 forces serial fetching. Per-task overrides (e.g.
+	// am.Config.ShuffleFetchParallelism) take precedence.
+	FetchParallelism int
 }
 
 // OutputID names one task attempt's registered output. Name distinguishes
@@ -98,6 +104,10 @@ func New(cfg Config) *Service {
 		sleep:   time.Sleep,
 	}
 }
+
+// FetchParallelism returns the cluster-configured default fetcher-pool
+// size per consumer (0 when unset).
+func (s *Service) FetchParallelism() int { return s.cfg.FetchParallelism }
 
 // SetAuthority turns on token-based access control (§4.3): every
 // registration and fetch must then present the live token of the DAG the
@@ -298,50 +308,102 @@ func (s *Service) Stats() Stats {
 
 // Fetcher wraps Fetch with bounded retry and exponential backoff on
 // transient errors — the "temporary network errors are retried with
-// back-off before reporting an error event" behaviour of §4.3.
+// back-off before reporting an error event" behaviour of §4.3. A single
+// Fetcher is safe for concurrent use by multiple goroutines (the parallel
+// fetcher pool of a shuffle consumer shares one), and owed transfer delay
+// accumulated by any goroutine is slept by whichever goroutine pushes it
+// over the 1 ms threshold — concurrently with other fetchers' sleeps, so
+// parallel transfers overlap like real parallel connections do.
 type Fetcher struct {
-	Service    *Service
-	MaxRetries int           // total attempts = MaxRetries+1; default 3 retries
+	Service *Service
+	// MaxRetries bounds retries of transient errors. Zero means "unset"
+	// and defaults to 3 retries; a negative value means no retries at
+	// all (the fetch fails on the first transient error); a positive
+	// value retries exactly that many times (total attempts = retries+1).
+	MaxRetries int
 	Backoff    time.Duration // initial backoff, doubled per retry; default 1ms
 
 	// Token authenticates fetches when the service has an authority.
 	Token security.Token
 
-	// Retries counts transient errors absorbed (observable in tests).
-	Retries int
-
+	mu      sync.Mutex
+	retries int64
 	// owed accumulates transfer delay until it is worth an OS sleep.
 	owed time.Duration
 }
 
+// RetryCount returns the transient errors absorbed so far (observable in
+// tests and metrics; safe to call concurrently).
+func (f *Fetcher) RetryCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.retries
+}
+
+// retryBudget resolves the MaxRetries semantics: <0 none, 0 default, >0 n.
+func (f *Fetcher) retryBudget() int {
+	switch {
+	case f.MaxRetries < 0:
+		return 0
+	case f.MaxRetries == 0:
+		return 3
+	default:
+		return f.MaxRetries
+	}
+}
+
 // Fetch retrieves one partition, retrying transient failures.
 func (f *Fetcher) Fetch(id OutputID, partition int, readerNode string) ([]byte, error) {
-	retries := f.MaxRetries
-	if retries <= 0 {
-		retries = 3
-	}
+	data, _, err := f.FetchCounted(id, partition, readerNode)
+	return data, err
+}
+
+// FetchCounted is Fetch plus the number of transient retries this call
+// absorbed (per-call, unlike the shared RetryCount total — useful when
+// several goroutines share the Fetcher and want per-fetch metrics).
+func (f *Fetcher) FetchCounted(id OutputID, partition int, readerNode string) ([]byte, int, error) {
+	budget := f.retryBudget()
 	backoff := f.Backoff
 	if backoff <= 0 {
 		backoff = time.Millisecond
 	}
+	retried := 0
 	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
+	for attempt := 0; attempt <= budget; attempt++ {
 		data, delay, err := f.Service.FetchNoWait(id, partition, readerNode, f.Token)
 		if err == nil {
-			f.owed += delay
-			if f.owed >= time.Millisecond {
-				time.Sleep(f.owed)
-				f.owed = 0
-			}
-			return data, nil
+			f.sleepOwed(delay)
+			return data, retried, nil
 		}
 		lastErr = err
 		if !errors.Is(err, ErrTransient) {
-			return nil, err
+			return nil, retried, err
 		}
-		f.Retries++
+		if attempt == budget {
+			break
+		}
+		retried++
+		f.mu.Lock()
+		f.retries++
+		f.mu.Unlock()
 		time.Sleep(backoff)
 		backoff *= 2
 	}
-	return nil, fmt.Errorf("shuffle: retries exhausted: %w", lastErr)
+	return nil, retried, fmt.Errorf("shuffle: retries exhausted: %w", lastErr)
+}
+
+// sleepOwed adds delay to the shared owed accumulator and, once it is
+// worth an OS timer, claims the whole balance and sleeps it outside the
+// lock so concurrent fetchers' transfer costs overlap in wall time.
+func (f *Fetcher) sleepOwed(delay time.Duration) {
+	f.mu.Lock()
+	f.owed += delay
+	var due time.Duration
+	if f.owed >= time.Millisecond {
+		due, f.owed = f.owed, 0
+	}
+	f.mu.Unlock()
+	if due > 0 {
+		time.Sleep(due)
+	}
 }

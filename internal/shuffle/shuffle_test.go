@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -144,7 +145,7 @@ func TestFetcherRetriesTransient(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if f.Retries == 0 {
+	if f.RetryCount() == 0 {
 		t.Fatal("expected transient retries")
 	}
 }
@@ -155,8 +156,82 @@ func TestFetcherFatalIsNotRetried(t *testing.T) {
 	if _, err := f.Fetch(oid(0, 0), 0, "n0"); !errors.Is(err, ErrDataLost) {
 		t.Fatalf("err = %v", err)
 	}
-	if f.Retries != 0 {
+	if f.RetryCount() != 0 {
 		t.Fatal("fatal error was retried")
+	}
+}
+
+func TestFetcherNoRetriesWhenNegative(t *testing.T) {
+	// Every fetch fails transiently; a negative MaxRetries must fail on
+	// the first attempt with no retries recorded.
+	s := New(Config{TransientErrorRate: 1, Seed: 1})
+	s.AddNode("n0", "r0")
+	_ = s.Register("n0", oid(0, 0), [][]byte{[]byte("x")})
+	f := &Fetcher{Service: s, MaxRetries: -1, Backoff: 1}
+	if _, err := f.Fetch(oid(0, 0), 0, "n0"); !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.RetryCount() != 0 {
+		t.Fatalf("retries = %d, want 0", f.RetryCount())
+	}
+}
+
+func TestFetcherUnsetRetriesDefaultsToThree(t *testing.T) {
+	s := New(Config{TransientErrorRate: 1, Seed: 1})
+	s.AddNode("n0", "r0")
+	_ = s.Register("n0", oid(0, 0), [][]byte{[]byte("x")})
+	f := &Fetcher{Service: s, Backoff: 1} // MaxRetries unset
+	if _, err := f.Fetch(oid(0, 0), 0, "n0"); !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.RetryCount() != 3 {
+		t.Fatalf("retries = %d, want 3", f.RetryCount())
+	}
+}
+
+func TestFetcherExactRetryBudget(t *testing.T) {
+	s := New(Config{TransientErrorRate: 1, Seed: 1})
+	s.AddNode("n0", "r0")
+	_ = s.Register("n0", oid(0, 0), [][]byte{[]byte("x")})
+	f := &Fetcher{Service: s, MaxRetries: 7, Backoff: 1}
+	_, retried, err := f.FetchCounted(oid(0, 0), 0, "n0")
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	if retried != 7 || f.RetryCount() != 7 {
+		t.Fatalf("retried = %d total = %d, want 7", retried, f.RetryCount())
+	}
+}
+
+func TestFetcherConcurrentUse(t *testing.T) {
+	s := New(Config{TransientErrorRate: 0.3, Seed: 7})
+	s.AddNode("n0", "r0")
+	s.AddNode("n1", "r0")
+	_ = s.Register("n0", oid(0, 0), [][]byte{[]byte("shared")})
+	f := &Fetcher{Service: s, MaxRetries: 50, Backoff: 1}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				got, err := f.Fetch(oid(0, 0), 0, "n1")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(got) != "shared" {
+					errs <- fmt.Errorf("got %q", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
 	}
 }
 
