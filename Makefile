@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench
+.PHONY: build vet test race check bench chaos
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,12 @@ check: build vet race
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
+
+# chaos runs the seed-pinned fault-injection suite under the race
+# detector: the determinism contract, the blacklisting/casualty paths in
+# the AM, and the end-to-end seeds×DAGs matrix (results must be identical
+# to a fault-free run). Seeds are fixed in the tests, so failures
+# reproduce exactly.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/
+	$(GO) test -race -count=1 -run 'TestChaos|TestBlacklist|TestAttemptFailureRacingNodeLoss|TestDecommissionDrain' ./internal/am/

@@ -59,3 +59,7 @@ func BenchmarkAblationSlowStart(b *testing.B)        { runFigure(b, bench.Ablati
 func BenchmarkAblationParallelFetch(b *testing.B)    { runFigure(b, bench.AblationParallelFetch) }
 func BenchmarkAblationObjectRegistry(b *testing.B)   { runFigure(b, bench.AblationObjectRegistry) }
 func BenchmarkAblationSpeculation(b *testing.B)      { runFigure(b, bench.AblationSpeculation) }
+
+// BenchmarkChaosRobustness runs the seeded fault-injection table: the
+// same workload under each chaos schedule, asserting identical results.
+func BenchmarkChaosRobustness(b *testing.B) { runFigure(b, bench.ChaosRobustness) }

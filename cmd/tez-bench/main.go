@@ -18,7 +18,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small | full")
-	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,ablations")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,chaos,ablations")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -48,6 +48,7 @@ func main() {
 		{"f11", bench.KMeansIterations},
 		{"f12", bench.SparkTimelines},
 		{"f13", bench.SparkLatency},
+		{"chaos", bench.ChaosRobustness},
 	}
 	start := time.Now()
 	for _, e := range experiments {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"tez/internal/chaos"
 	"tez/internal/cluster"
 	"tez/internal/dag"
 	"tez/internal/event"
@@ -263,10 +264,21 @@ func (r *dagRun) onAttemptDone(at *attemptState, err error) {
 			at.state = aKilled
 			outcome = "KILLED"
 			r.counters.Add("ATTEMPTS_KILLED_INPUT_ERROR", 1)
+		} else if at.node != "" && r.deadNodes[at.node] {
+			// The attempt's node is already known dead: its error message
+			// raced the node-failure notification in the mailbox. Treat it
+			// like a container kill — the machine's death, not the task's
+			// fault, and no MaxTaskAttempts or node-health charge.
+			at.state = aKilled
+			outcome = "KILLED"
+			r.counters.Add("ATTEMPTS_KILLED_NODE_LOST", 1)
 		} else {
 			at.state = aFailed
 			ts.failures++
 			r.counters.Add("ATTEMPTS_FAILED", 1)
+			if r.session.health.taskFailed(at.node) {
+				r.counters.Add("NODES_BLACKLISTED", 1)
+			}
 		}
 	}
 	r.recordAttempt(at, outcome)
@@ -367,6 +379,12 @@ func (r *dagRun) vertexSucceeded(vs *vertexState) {
 	}
 	if r.cfg.CheckpointPath != "" {
 		r.saveCheckpoint()
+	}
+	if r.cfg.Chaos.OnVertexCompleted() {
+		// Injected AM crash: the checkpoint above (if any) is on disk; a
+		// fresh session can Recover this DAG from it.
+		r.fail(DAGFailed, chaos.ErrAMCrash)
+		return
 	}
 	r.maybeFinish()
 }

@@ -13,6 +13,7 @@ package am
 import (
 	"time"
 
+	"tez/internal/chaos"
 	"tez/internal/cluster"
 )
 
@@ -84,6 +85,31 @@ type Config struct {
 	// the DFS under this directory after every vertex completion so a new
 	// AM can recover (§4.3).
 	CheckpointPath string
+
+	// NodeMaxTaskFailures blacklists a node once that many genuine attempt
+	// failures — or that many fetch-failure retractions — have been
+	// attributed to it (default 3). Casualties (container kills, input-
+	// error kills, failures racing a node loss) never count.
+	NodeMaxTaskFailures int
+	// NodeBlacklistDecay un-blacklists a node after this long, wiping its
+	// failure counters (default 10s — effectively "for the rest of the
+	// run" at simulation timescales; lower it to model transient
+	// sickness).
+	NodeBlacklistDecay time.Duration
+	// MaxBlacklistFraction caps how much of the cluster may be blacklisted
+	// at once (default 0.33, minimum one node). At the cap, further
+	// blacklisting is refused: placement relaxes back to the whole
+	// cluster instead of excluding everything during a cluster-wide
+	// problem.
+	MaxBlacklistFraction float64
+	// DisableBlacklisting turns node health tracking off entirely
+	// (ablation knob; restores the pre-blacklist scheduler behaviour).
+	DisableBlacklisting bool
+
+	// Chaos, when set, lets the chaos plane crash the AM between vertex
+	// completions (§4.3 AM recovery drill). Data-plane injection is wired
+	// separately via platform.Config.Chaos — usually the same plane.
+	Chaos *chaos.Plane
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +151,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeadlockWait <= 0 {
 		c.DeadlockWait = 50 * time.Millisecond
+	}
+	if c.NodeMaxTaskFailures <= 0 {
+		c.NodeMaxTaskFailures = 3
+	}
+	if c.NodeBlacklistDecay <= 0 {
+		c.NodeBlacklistDecay = 10 * time.Second
+	}
+	if c.MaxBlacklistFraction <= 0 || c.MaxBlacklistFraction > 1 {
+		c.MaxBlacklistFraction = 0.33
 	}
 	return c
 }

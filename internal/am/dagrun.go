@@ -182,7 +182,10 @@ type msgCommitDone struct {
 	err error
 }
 
-type msgNodeFailed struct{ node cluster.NodeID }
+type msgNodeFailed struct {
+	node    cluster.NodeID
+	planned bool // decommission (drain), not a crash
+}
 
 type msgTick struct{}
 
@@ -207,6 +210,12 @@ type dagRun struct {
 	counters *metrics.Counters
 	trace    *metrics.Trace
 	token    security.Token
+
+	// deadNodes records nodes this run has seen fail or drain. A genuine
+	// attempt error arriving from a node already in here is downgraded to
+	// a casualty: the failure raced the node loss in the mailbox and must
+	// not count toward MaxTaskAttempts or node health.
+	deadNodes map[string]bool
 
 	started        time.Time
 	finished       bool
@@ -236,9 +245,10 @@ func newDAGRun(s *Session, d *dag.DAG, id string) (*dagRun, error) {
 		vertices: make(map[string]*vertexState),
 		inEdges:  make(map[string][]*edgeState),
 		outEdges: make(map[string][]*edgeState),
-		counters: metrics.NewCounters(),
-		trace:    metrics.NewTrace(),
-		done:     make(chan struct{}),
+		counters:  metrics.NewCounters(),
+		trace:     metrics.NewTrace(),
+		deadNodes: make(map[string]bool),
+		done:      make(chan struct{}),
 	}
 	for depth, name := range topo {
 		v := d.Vertex(name)
@@ -327,7 +337,7 @@ func (r *dagRun) dispatch(m amMsg) {
 	case msgCommitDone:
 		r.onCommitDone(msg.vs, msg.err)
 	case msgNodeFailed:
-		r.onNodeFailed(msg.node)
+		r.onNodeFailed(msg.node, msg.planned)
 	case msgTick:
 		r.onTick()
 	case msgKill:

@@ -120,6 +120,20 @@ func (r *dagRun) onInputReadError(e event.InputReadError) {
 		return
 	}
 	r.counters.Add("INPUT_READ_ERRORS", 1)
+	// Attribute the loss to the producer's node — unless that node is
+	// already known dead (the loss is then the node failure's doing, not
+	// evidence of a sick-but-alive machine).
+	node := ""
+	if ts.winner != nil {
+		node = ts.winner.node
+	} else if ts.restored {
+		node = ts.restoredNode
+	}
+	if node != "" && !r.deadNodes[node] {
+		if r.session.health.fetchFailed(node) {
+			r.counters.Add("NODES_BLACKLISTED", 1)
+		}
+	}
 	r.reexecuteTask(ts)
 }
 
@@ -180,11 +194,18 @@ func (r *dagRun) reexecuteTask(ts *taskState) {
 // hit InputReadErrors later (§4.3). Tasks whose outputs all cross reliable
 // edges — or go only to DFS sinks — are spared: reliable storage is the
 // barrier to cascading re-execution.
-func (r *dagRun) onNodeFailed(node cluster.NodeID) {
+func (r *dagRun) onNodeFailed(node cluster.NodeID, planned bool) {
 	if r.finished {
 		return
 	}
-	r.counters.Add("NODE_FAILURES_OBSERVED", 1)
+	r.deadNodes[string(node)] = true
+	if planned {
+		// A drain is operator-initiated: re-execute what must be, but the
+		// node did nothing wrong — it never touches health counters.
+		r.counters.Add("NODE_DECOMMISSIONS_OBSERVED", 1)
+	} else {
+		r.counters.Add("NODE_FAILURES_OBSERVED", 1)
+	}
 	for _, name := range r.topo {
 		vs := r.vertices[name]
 		ephemeral := false

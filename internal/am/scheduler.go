@@ -49,6 +49,10 @@ type schedStats struct {
 type scheduler struct {
 	cfg Config
 	app *cluster.Application
+	// health is the session's node blacklist; nil when blacklisting is
+	// disabled. Blacklisted nodes are excluded from RM requests and from
+	// idle-container reuse.
+	health *nodeHealth
 
 	mu         sync.Mutex
 	idle       []*pooledContainer
@@ -67,8 +71,8 @@ type scheduler struct {
 	testHookPreLaunch func(*cluster.Container)
 }
 
-func newScheduler(cfg Config, app *cluster.Application) *scheduler {
-	return &scheduler{cfg: cfg, app: app, held: make(map[cluster.ContainerID]*pooledContainer)}
+func newScheduler(cfg Config, app *cluster.Application, health *nodeHealth) *scheduler {
+	return &scheduler{cfg: cfg, app: app, health: health, held: make(map[cluster.ContainerID]*pooledContainer)}
 }
 
 // submit requests a container for a task attempt.
@@ -104,6 +108,7 @@ func (s *scheduler) enqueue(req *taskRequest) {
 		Nodes:         req.hosts,
 		Racks:         req.racks,
 		RelaxLocality: true,
+		Exclude:       s.health.excludedIDs(),
 		Cookie:        req,
 	}
 	req.rmReq = rmReq
@@ -144,6 +149,9 @@ func (s *scheduler) takeIdleLocked(req *taskRequest) *pooledContainer {
 	pick := -1
 	bestClass := 3
 	for i, pc := range s.idle {
+		if s.health.isBlacklisted(string(pc.c.Node())) {
+			continue
+		}
 		class := 2
 		for _, h := range req.hosts {
 			if pc.c.Node() == h {
@@ -217,6 +225,9 @@ func (s *scheduler) onAllocated(c *cluster.Container, rmReq *cluster.ContainerRe
 // release returns a container after a task: hand it to a waiting request
 // (reuse), park it idle, or give it back to the RM.
 func (s *scheduler) release(pc *pooledContainer, reusable bool) {
+	if reusable && s.health.isBlacklisted(string(pc.c.Node())) {
+		reusable = false
+	}
 	s.mu.Lock()
 	if s.closed || !reusable || s.cfg.DisableContainerReuse {
 		delete(s.held, pc.c.ID)

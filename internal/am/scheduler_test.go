@@ -15,7 +15,7 @@ func newTestScheduler(t *testing.T, nodes int) (*platform.Platform, *cluster.App
 	t.Helper()
 	plat := platform.New(platform.Fast(nodes))
 	app := plat.RM.Submit("sched-test")
-	sched := newScheduler(Config{}.withDefaults(), app)
+	sched := newScheduler(Config{}.withDefaults(), app, nil)
 	t.Cleanup(func() {
 		sched.close()
 		app.Unregister()

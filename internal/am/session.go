@@ -7,6 +7,7 @@ import (
 
 	"tez/internal/cluster"
 	"tez/internal/dag"
+	"tez/internal/metrics"
 	"tez/internal/platform"
 )
 
@@ -14,10 +15,11 @@ import (
 // runs a sequence of DAGs, re-using containers within and across DAGs
 // (Figure 7), optionally pre-warming capacity before the first DAG.
 type Session struct {
-	cfg   Config
-	plat  *platform.Platform
-	app   *cluster.Application
-	sched *scheduler
+	cfg    Config
+	plat   *platform.Platform
+	app    *cluster.Application
+	sched  *scheduler
+	health *nodeHealth // nil when blacklisting is disabled
 
 	mu     sync.Mutex
 	seq    int
@@ -39,7 +41,10 @@ func NewSession(plat *platform.Platform, cfg Config) *Session {
 		stopCh: make(chan struct{}),
 	}
 	s.app = plat.RM.Submit(cfg.Name)
-	s.sched = newScheduler(cfg, s.app)
+	if !cfg.DisableBlacklisting {
+		s.health = newNodeHealth(cfg, len(plat.RM.Nodes()))
+	}
+	s.sched = newScheduler(cfg, s.app, s.health)
 	s.wg.Add(2)
 	go s.drainClusterEvents()
 	go s.housekeeping()
@@ -71,7 +76,7 @@ func (s *Session) drainClusterEvents() {
 			}
 			s.mu.Unlock()
 			for _, r := range runs {
-				r.mb.Put(msgNodeFailed{node: e.Node})
+				r.mb.Put(msgNodeFailed{node: e.Node, planned: e.Decommissioned})
 			}
 		}
 	}
@@ -151,6 +156,12 @@ func (s *Session) runFinished(r *dagRun) {
 func (s *Session) SchedulerStats() (allocated, reused int) {
 	st := s.sched.snapshot()
 	return st.Allocated, st.Reused
+}
+
+// NodeHealth returns the session's per-node failure and blacklist report
+// (empty when blacklisting is disabled).
+func (s *Session) NodeHealth() metrics.NodeHealthReport {
+	return s.health.report()
 }
 
 // Close kills active DAGs, releases containers and unregisters the app.

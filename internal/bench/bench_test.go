@@ -138,3 +138,16 @@ func TestReportRendering(t *testing.T) {
 		t.Fatal("speedup formatting")
 	}
 }
+
+func TestChaosRobustnessReport(t *testing.T) {
+	rep, err := ChaosRobustness(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, rep, 8) // baseline + 7 scenarios
+	for _, row := range rep.Rows[1:] {
+		if row[2] != "identical" {
+			t.Fatalf("scenario %s diverged from the fault-free run:\n%s", row[0], rep)
+		}
+	}
+}

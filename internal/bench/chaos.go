@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"time"
+
+	"tez/internal/am"
+	"tez/internal/chaos"
+	"tez/internal/library"
+	"tez/internal/mapreduce"
+	"tez/internal/platform"
+)
+
+// chaosScenario is one seeded fault schedule for the robustness table.
+type chaosScenario struct {
+	name string
+	seed int64
+	spec chaos.Spec
+	cfg  func(am.Config) am.Config
+}
+
+func chaosScenarios() []chaosScenario {
+	id := func(c am.Config) am.Config { return c }
+	return []chaosScenario{
+		{"fetch-faults", 101, chaos.Spec{TransientFetchProb: 0.25, FetchDataLostProb: 0.05}, id},
+		{"task+launch", 102, chaos.Spec{TaskFaultProb: 0.20, LaunchFailProb: 0.20}, id},
+		{"dfs-read", 103, chaos.Spec{DFSReadFaultProb: 0.30}, id},
+		{"node-crash", 104, chaos.Spec{CrashNodes: 1, StepSpacing: 3, TransientFetchProb: 0.10}, id},
+		{"drain", 105, chaos.Spec{DecommissionNodes: 1, StepSpacing: 3}, id},
+		{"sick-node", 106, chaos.Spec{SickNodes: []string{"node-000"}},
+			func(c am.Config) am.Config { c.NodeMaxTaskFailures = 2; return c }},
+		// node-000/001 are where the RM places first, so the slowdown is
+		// guaranteed to hit real work.
+		{"slow-nodes", 107, chaos.Spec{SlowNodes: []string{"node-000", "node-001"}, SlowExecDelay: 2 * time.Millisecond, SlowFetchFactor: 3},
+			func(c am.Config) am.Config { c.Speculation = true; return c }},
+	}
+}
+
+// ChaosRobustness runs the same wordcount workload under each seeded fault
+// schedule and reports whether the output stayed identical to the
+// fault-free run, what the faults cost, and what node health saw — the
+// robustness counterpart of the timing figures.
+func ChaosRobustness(sc Scale) (*Report, error) {
+	lines := sc.PigRows
+	if lines <= 0 {
+		lines = 3000
+	}
+	run := func(plane *chaos.Plane, mut func(am.Config) am.Config) (map[string]int, am.DAGResult, *am.Session, *platform.Platform, time.Duration, error) {
+		pcfg := platform.Fast(8)
+		pcfg.Chaos = plane
+		plat := platform.New(pcfg)
+		if err := writeWords(plat, "/bench/chaos/words", lines); err != nil {
+			plat.Stop()
+			return nil, am.DAGResult{}, nil, nil, 0, err
+		}
+		cfg := mut(am.Config{Name: "chaos", MaxTaskAttempts: 8})
+		sess := am.NewSession(plat, cfg)
+		start := time.Now()
+		res, err := mapreduce.RunOnTez(sess, mapreduce.JobConf{
+			Name: "wc", Map: "bench.tokenize", Reduce: "bench.count",
+			InputPaths: []string{"/bench/chaos/words"}, OutputPath: "/bench/chaos/out",
+			Reducers: 4,
+		})
+		dur := time.Since(start)
+		if err != nil {
+			return nil, res, sess, plat, dur, err
+		}
+		counts, err := readCountsDFS(plat, "/bench/chaos/out")
+		return counts, res, sess, plat, dur, err
+	}
+
+	rep := &Report{
+		Figure:  "Chaos",
+		Title:   "seeded fault injection vs fault-free wordcount (8 nodes)",
+		Headers: []string{"scenario", "seed", "result", "time_ms", "injected", "att_failed", "reexecuted", "blacklisted"},
+	}
+
+	want, _, sess, plat, cleanDur, err := run(nil, func(c am.Config) am.Config { return c })
+	if err != nil {
+		return nil, fmt.Errorf("fault-free run: %w", err)
+	}
+	sess.Close()
+	plat.Stop()
+	rep.AddRow("fault-free", "-", "baseline", ms(cleanDur), "0", "0", "0", "0")
+
+	for _, s := range chaosScenarios() {
+		plane := chaos.New(s.seed, s.spec)
+		got, res, sess, plat, dur, err := run(plane, s.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.name, err)
+		}
+		verdict := "identical"
+		if !reflect.DeepEqual(got, want) {
+			verdict = "DIVERGED"
+		}
+		var injected int64
+		for _, v := range plane.Injected() {
+			injected += v
+		}
+		rep.AddRow(s.name, strconv.FormatInt(s.seed, 10), verdict, ms(dur),
+			strconv.FormatInt(injected, 10),
+			strconv.FormatInt(res.Counters.Get("ATTEMPTS_FAILED"), 10),
+			strconv.FormatInt(res.Counters.Get("TASKS_REEXECUTED"), 10),
+			strconv.FormatInt(res.Counters.Get("NODES_BLACKLISTED"), 10))
+		if s.name == "sick-node" {
+			for _, h := range sess.NodeHealth() {
+				mark := ""
+				if h.Blacklisted {
+					mark = " BLACKLISTED"
+				}
+				rep.Notes = append(rep.Notes, fmt.Sprintf(
+					"sick-node health: %s taskFailures=%d fetchFailures=%d%s",
+					h.Node, h.TaskFailures, h.FetchFailures, mark))
+			}
+		}
+		sess.Close()
+		plat.Stop()
+	}
+	rep.Notes = append(rep.Notes,
+		"every scenario must read `identical`: chaos may slow a DAG down, never change its answer",
+		"same seed ⇒ same schedule and decision stream (internal/chaos determinism tests)")
+	return rep, nil
+}
+
+// readCountsDFS aggregates committed wordcount output across part files.
+func readCountsDFS(plat *platform.Platform, out string) (map[string]int, error) {
+	res := map[string]int{}
+	for _, f := range plat.FS.List(out + "/part-") {
+		blob, err := plat.FS.ReadFile(f, "")
+		if err != nil {
+			return nil, err
+		}
+		r := library.NewPaddedReader(blob)
+		for r.Next() {
+			n, err := strconv.Atoi(string(r.Value()))
+			if err != nil {
+				return nil, err
+			}
+			res[string(r.Key())] += n
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func testNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = string(rune('a'+i)) + "-node"
+	}
+	return nodes
+}
+
+// Same seed + spec + node list ⇒ identical bound schedule.
+func TestSameSeedSameSchedule(t *testing.T) {
+	spec := Spec{
+		SickNodeCount:     1,
+		SlowNodeCount:     2,
+		SlowExecDelay:     5 * time.Millisecond,
+		CrashNodes:        2,
+		DecommissionNodes: 1,
+		StepSpacing:       3,
+	}
+	nodes := testNodes(8)
+	a := New(42, spec)
+	b := New(42, spec)
+	a.Bind(nodes)
+	b.Bind(nodes)
+	if a.Describe() != b.Describe() {
+		t.Fatalf("same seed produced different schedules:\n  %s\n  %s", a.Describe(), b.Describe())
+	}
+	if len(a.Schedule()) != 3 {
+		t.Fatalf("expected 3 node actions, got %v", a.Schedule())
+	}
+	seen := map[string]bool{}
+	for _, act := range a.Schedule() {
+		if seen[act.Node] {
+			t.Fatalf("node %s targeted twice: %v", act.Node, a.Schedule())
+		}
+		seen[act.Node] = true
+	}
+
+	c := New(43, spec)
+	c.Bind(nodes)
+	if a.Describe() == c.Describe() {
+		t.Fatalf("different seeds produced identical schedules: %s", a.Describe())
+	}
+}
+
+// Decisions are a pure function of (seed, site, call index): two planes
+// asked the same questions in different interleavings answer identically.
+func TestDecisionStreamDeterminism(t *testing.T) {
+	spec := Spec{
+		TransientFetchProb: 0.3,
+		FetchDataLostProb:  0.05,
+		LaunchFailProb:     0.2,
+		TaskFaultProb:      0.1,
+		DFSReadFaultProb:   0.15,
+	}
+	a := New(7, spec)
+	b := New(7, spec)
+
+	sites := []string{"v1/t000_a0/p0/r1", "v1/t001_a0/p0/r1", "v2/t000_a1/p3/r0"}
+	// Plane a: site-major order; plane b: round-major order. Per-site
+	// streams must match regardless.
+	type draw struct {
+		site string
+		f    Fault
+	}
+	var got [2][]draw
+	for pi, p := range []*Plane{a, b} {
+		record := func(site string) { got[pi] = append(got[pi], draw{site, p.FetchFault(site)}) }
+		if pi == 0 {
+			for _, s := range sites {
+				for r := 0; r < 20; r++ {
+					record(s)
+				}
+			}
+		} else {
+			for r := 0; r < 20; r++ {
+				for _, s := range sites {
+					record(s)
+				}
+			}
+		}
+	}
+	perSite := func(ds []draw) map[string][]Fault {
+		m := map[string][]Fault{}
+		for _, d := range ds {
+			m[d.site] = append(m[d.site], d.f)
+		}
+		return m
+	}
+	ma, mb := perSite(got[0]), perSite(got[1])
+	for _, s := range sites {
+		if len(ma[s]) != len(mb[s]) {
+			t.Fatalf("site %s: draw count mismatch", s)
+		}
+		for i := range ma[s] {
+			if ma[s][i] != mb[s][i] {
+				t.Fatalf("site %s draw %d: %v vs %v", s, i, ma[s][i], mb[s][i])
+			}
+		}
+	}
+
+	// Other decision kinds are deterministic too.
+	for i := 0; i < 50; i++ {
+		if a.LaunchFault("n1") != b.LaunchFault("n1") {
+			t.Fatalf("launch decision %d diverged", i)
+		}
+		if a.DFSReadFault("/in/part-0", "n2") != b.DFSReadFault("/in/part-0", "n2") {
+			t.Fatalf("dfs decision %d diverged", i)
+		}
+		ea, eb := a.ExecFault("n3", "v1/t000_a0"), b.ExecFault("n3", "v1/t000_a0")
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("exec decision %d diverged", i)
+		}
+	}
+}
+
+// Probabilities actually bite: over many draws the hit rate lands near p.
+func TestRollRates(t *testing.T) {
+	p := New(99, Spec{TransientFetchProb: 0.25})
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if p.FetchFault("site") == FaultTransient {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.18 || rate > 0.32 {
+		t.Fatalf("transient rate %.3f far from 0.25", rate)
+	}
+}
+
+// Node actions fire exactly once, at their step, via the bound callbacks.
+func TestNodeActionsFireAtStep(t *testing.T) {
+	p := New(5, Spec{NodeActions: []NodeAction{
+		{Step: 2, Node: "n1"},
+		{Step: 3, Node: "n2", Decommission: true},
+	}})
+	p.Bind([]string{"n1", "n2", "n3"})
+	failed := make(chan string, 4)
+	decom := make(chan string, 4)
+	p.FailNode = func(n string) { failed <- n }
+	p.DecommissionNode = func(n string) { decom <- n }
+
+	p.TaskStarted("n3") // step 1: nothing due
+	select {
+	case n := <-failed:
+		t.Fatalf("premature failure of %s", n)
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.TaskStarted("n3") // step 2: crash n1
+	select {
+	case n := <-failed:
+		if n != "n1" {
+			t.Fatalf("crashed %s, want n1", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("crash action never fired")
+	}
+	p.TaskStarted("n3") // step 3: decommission n2
+	select {
+	case n := <-decom:
+		if n != "n2" {
+			t.Fatalf("decommissioned %s, want n2", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("decommission action never fired")
+	}
+	p.TaskStarted("n3")
+	select {
+	case n := <-failed:
+		t.Fatalf("action re-fired for %s", n)
+	case n := <-decom:
+		t.Fatalf("action re-fired for %s", n)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// The AM-crash trigger fires exactly once at the configured count.
+func TestAMCrashOnce(t *testing.T) {
+	p := New(1, Spec{AMCrashAfterVertexCompletions: 2})
+	if p.OnVertexCompleted() {
+		t.Fatal("crashed after 1 completion, want 2")
+	}
+	if !p.OnVertexCompleted() {
+		t.Fatal("did not crash after 2 completions")
+	}
+	for i := 0; i < 5; i++ {
+		if p.OnVertexCompleted() {
+			t.Fatal("crashed twice")
+		}
+	}
+}
+
+// A nil plane is inert everywhere.
+func TestNilPlaneNoOps(t *testing.T) {
+	var p *Plane
+	p.Bind([]string{"n1"})
+	p.TaskStarted("n1")
+	if p.ExecFault("n1", "s") != nil || p.ExecDelay("n1") != 0 || p.LaunchFault("n1") {
+		t.Fatal("nil plane injected an exec/launch fault")
+	}
+	if p.FetchFault("s") != FaultNone || p.FetchDelayFactor("n1") != 1 || p.DFSReadFault("p", "n1") {
+		t.Fatal("nil plane injected a fetch/dfs fault")
+	}
+	if p.OnVertexCompleted() || p.Step() != 0 || p.Schedule() != nil || p.Injected() != nil {
+		t.Fatal("nil plane reported state")
+	}
+	if p.Describe() != "chaos: off" {
+		t.Fatalf("nil Describe = %q", p.Describe())
+	}
+}

@@ -15,7 +15,11 @@ type ContainerRequest struct {
 	Nodes         []NodeID
 	Racks         []string
 	RelaxLocality bool
-	Cookie        any
+	// Exclude lists nodes the request must not be placed on (AM-side
+	// blacklisting). Exclusion is best-effort hard: if every fitting node
+	// is excluded the request simply waits.
+	Exclude []NodeID
+	Cookie  any
 
 	// Scheduling opportunities missed at each level (delay scheduling).
 	missedNode int

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"tez/internal/chaos"
 )
 
 // Resource is a multi-dimensional resource vector, like YARN's
@@ -101,6 +103,9 @@ type Config struct {
 	// starved. PreemptionInterval is how often the check runs.
 	FairPreemption     bool
 	PreemptionInterval time.Duration
+	// Chaos, when set, injects faults into container launch and execution
+	// (nil means no injection).
+	Chaos *chaos.Plane
 }
 
 func (c Config) withDefaults() Config {

@@ -12,6 +12,10 @@ var (
 	ErrContainerNotReady = errors.New("cluster: container not launched")
 	ErrContainerBusy     = errors.New("cluster: container already executing")
 	ErrContainerDone     = errors.New("cluster: container released")
+	// ErrLaunchFailed: the allocation was granted but the container process
+	// never came up (injected by the chaos plane); the owner should discard
+	// the container and re-request.
+	ErrLaunchFailed = errors.New("cluster: container launch failed")
 )
 
 // StopReason says why a container was terminated by the platform.
@@ -88,6 +92,10 @@ func (c *Container) Launch() error {
 		c.mu.Unlock()
 		return nil
 	}
+	if c.rm.cfg.Chaos.LaunchFault(string(c.node.ID)) {
+		c.mu.Unlock()
+		return ErrLaunchFailed
+	}
 	c.launched = true
 	c.mu.Unlock()
 	c.rm.sleepInterruptible(c.rm.cfg.ContainerLaunchOverhead, c.stop)
@@ -138,6 +146,16 @@ func (c *Container) Exec(fn func(stop <-chan struct{}) error) error {
 		if !c.rm.sleepInterruptible(c.rm.cfg.WarmupPenalty, c.stop) {
 			return ErrContainerKilled
 		}
+	}
+	node := string(c.node.ID)
+	c.rm.cfg.Chaos.TaskStarted(node)
+	if d := c.rm.cfg.Chaos.ExecDelay(node); d > 0 {
+		if !c.rm.sleepInterruptible(d, c.stop) {
+			return ErrContainerKilled
+		}
+	}
+	if err := c.rm.cfg.Chaos.ExecFault(node, ""); err != nil {
+		return err
 	}
 	done := make(chan error, 1)
 	go func() { done <- fn(c.stop) }()

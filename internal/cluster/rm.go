@@ -337,7 +337,17 @@ func (rm *ResourceManager) place(req *ContainerRequest) (*Node, Locality, bool) 
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 
+	var excluded map[NodeID]bool
+	if len(req.Exclude) > 0 {
+		excluded = make(map[NodeID]bool, len(req.Exclude))
+		for _, id := range req.Exclude {
+			excluded[id] = true
+		}
+	}
 	fits := func(n *Node) bool {
+		if excluded[n.ID] {
+			return false
+		}
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		return n.live && req.Resource.FitsIn(n.capacity.Sub(n.used))

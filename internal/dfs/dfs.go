@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tez/internal/chaos"
 )
 
 // Config controls block geometry and the write cost model.
@@ -48,6 +50,9 @@ type Config struct {
 	ReadDelayPerByteRemote time.Duration
 	// Seed makes replica placement deterministic. Zero means 1.
 	Seed int64
+	// Chaos, when set, injects transient read faults into reads issued
+	// from a task node (nil means no injection).
+	Chaos *chaos.Plane
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +74,9 @@ var (
 	ErrExists    = errors.New("dfs: file already exists")
 	ErrBlockLost = errors.New("dfs: block lost (no live replica)")
 	ErrNoNodes   = errors.New("dfs: no live nodes")
+	// ErrReadFault is a transient, injected read failure: the data is
+	// intact and a retry (normally a fresh task attempt) will succeed.
+	ErrReadFault = errors.New("dfs: transient read fault")
 )
 
 // FileSystem is the in-memory DFS namespace plus block store.
@@ -300,6 +308,11 @@ func (fs *FileSystem) ReadFile(path, localNode string) ([]byte, error) {
 // ReadAt reads length bytes at offset. Reads spanning lost blocks return
 // ErrBlockLost. Remote bytes (no replica on localNode) pay the read cost.
 func (fs *FileSystem) ReadAt(path, localNode string, offset, length int64) ([]byte, error) {
+	// Chaos only targets reads issued from a task's node; control-plane
+	// and verification reads pass localNode == "" and are never injected.
+	if localNode != "" && fs.cfg.Chaos.DFSReadFault(path, localNode) {
+		return nil, fmt.Errorf("%w: %s from %s (injected)", ErrReadFault, path, localNode)
+	}
 	fs.mu.Lock()
 	f, ok := fs.files[path]
 	if !ok {

@@ -139,6 +139,46 @@ func SeriesNames(samples []Sample) []string {
 	return names
 }
 
+// NodeHealth is one node's failure-tracking snapshot from the AM's
+// blacklisting subsystem: how many genuine attempt failures and fetch-
+// failure retractions were attributed to it, and its blacklist history.
+type NodeHealth struct {
+	Node            string
+	TaskFailures    int
+	FetchFailures   int
+	Blacklisted     bool
+	BlacklistEnters int
+	BlacklistExits  int
+}
+
+// NodeHealthReport is a per-node health snapshot, sorted by node id.
+type NodeHealthReport []NodeHealth
+
+// BlacklistedCount returns the number of currently-blacklisted nodes.
+func (r NodeHealthReport) BlacklistedCount() int {
+	n := 0
+	for _, h := range r {
+		if h.Blacklisted {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders one line per node with any recorded history.
+func (r NodeHealthReport) String() string {
+	var b strings.Builder
+	for _, h := range r {
+		mark := ""
+		if h.Blacklisted {
+			mark = " BLACKLISTED"
+		}
+		fmt.Fprintf(&b, "%s: taskFailures=%d fetchFailures=%d enters=%d exits=%d%s\n",
+			h.Node, h.TaskFailures, h.FetchFailures, h.BlacklistEnters, h.BlacklistExits, mark)
+	}
+	return b.String()
+}
+
 // AttemptRecord is one task attempt's lifecycle, used for execution traces
 // and speculation/straggler analysis.
 type AttemptRecord struct {

@@ -8,6 +8,7 @@ package platform
 import (
 	"time"
 
+	"tez/internal/chaos"
 	"tez/internal/cluster"
 	"tez/internal/dfs"
 	"tez/internal/security"
@@ -20,6 +21,10 @@ type Config struct {
 	Cluster cluster.Config
 	DFS     dfs.Config
 	Shuffle shuffle.Config
+	// Chaos, when set, is bound to the topology at New and threaded into
+	// every substrate; its scheduled node actions fire through the
+	// platform's FailNode/Decommission so all layers see them together.
+	Chaos *chaos.Plane
 }
 
 // Default returns a laptop-scale config with mild, visible overheads:
@@ -90,15 +95,27 @@ func (p *Platform) EnableSecurity() *security.Authority {
 
 // New builds and starts the platform.
 func New(cfg Config) *Platform {
+	if cfg.Chaos != nil {
+		cfg.Cluster.Chaos = cfg.Chaos
+		cfg.DFS.Chaos = cfg.Chaos
+		cfg.Shuffle.Chaos = cfg.Chaos
+	}
 	p := &Platform{
 		RM:      cluster.New(cfg.Cluster),
 		FS:      dfs.New(cfg.DFS),
 		Shuffle: shuffle.New(cfg.Shuffle),
 	}
+	var nodes []string
 	for _, id := range p.RM.Nodes() {
 		rack := p.RM.RackOf(id)
 		p.FS.AddNode(string(id), rack)
 		p.Shuffle.AddNode(string(id), rack)
+		nodes = append(nodes, string(id))
+	}
+	if cfg.Chaos != nil {
+		cfg.Chaos.Bind(nodes)
+		cfg.Chaos.FailNode = func(n string) { p.FailNode(cluster.NodeID(n)) }
+		cfg.Chaos.DecommissionNode = func(n string) { p.Decommission(cluster.NodeID(n)) }
 	}
 	return p
 }

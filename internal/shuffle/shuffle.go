@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"tez/internal/chaos"
 	"tez/internal/security"
 )
 
@@ -50,6 +51,11 @@ type Config struct {
 	// own default; 1 forces serial fetching. Per-task overrides (e.g.
 	// am.Config.ShuffleFetchParallelism) take precedence.
 	FetchParallelism int
+	// Chaos, when set, injects transient/permanent fetch faults and slow-
+	// node transfer multipliers (nil means no injection). Unlike
+	// TransientErrorRate's shared RNG, chaos decisions are deterministic
+	// per fetch site.
+	Chaos *chaos.Plane
 }
 
 // OutputID names one task attempt's registered output. Name distinguishes
@@ -265,6 +271,17 @@ func (s *Service) FetchNoWait(id OutputID, partition int, readerNode string, tok
 		s.mu.Unlock()
 		return nil, 0, fmt.Errorf("shuffle: %s p%d: %w", id, partition, ErrTransient)
 	}
+	if s.cfg.Chaos != nil {
+		site := fmt.Sprintf("%s/p%d/%s", id, partition, readerNode)
+		switch s.cfg.Chaos.FetchFault(site) {
+		case chaos.FaultTransient:
+			s.mu.Unlock()
+			return nil, 0, fmt.Errorf("shuffle: %s p%d: injected: %w", id, partition, ErrTransient)
+		case chaos.FaultDataLost:
+			s.mu.Unlock()
+			return nil, 0, fmt.Errorf("shuffle: %s p%d: injected: %w", id, partition, ErrDataLost)
+		}
+	}
 	data := o.partitions[partition]
 	var perByte time.Duration
 	switch {
@@ -280,6 +297,9 @@ func (s *Service) FetchNoWait(id OutputID, partition int, readerNode string, tok
 	}
 	s.bytesFetched += int64(len(data))
 	delay := s.cfg.FetchBaseLatency + time.Duration(len(data))*perByte
+	if f := s.cfg.Chaos.FetchDelayFactor(o.node); f > 1 {
+		delay = time.Duration(float64(delay) * f)
+	}
 	s.mu.Unlock()
 	return data, delay, nil
 }
@@ -322,12 +342,23 @@ type Fetcher struct {
 	// value retries exactly that many times (total attempts = retries+1).
 	MaxRetries int
 	Backoff    time.Duration // initial backoff, doubled per retry; default 1ms
+	// MaxBackoff caps the exponential growth of the backoff ceiling;
+	// default 250ms. The actual sleep before retry n is drawn uniformly
+	// from [0, min(MaxBackoff, Backoff·2ⁿ)) — "full jitter", which
+	// decorrelates the retry storms of many consumers hammering the same
+	// recovering server.
+	MaxBackoff time.Duration
+	// Rand supplies the jitter draw in [0,1). Defaults to a private
+	// seeded source; inject for deterministic tests. Called under the
+	// Fetcher's lock, so a plain rand.Float64 closure is safe.
+	Rand func() float64
 
 	// Token authenticates fetches when the service has an authority.
 	Token security.Token
 
 	mu      sync.Mutex
 	retries int64
+	jrng    *rand.Rand
 	// owed accumulates transfer delay until it is worth an OS sleep.
 	owed time.Duration
 }
@@ -363,9 +394,13 @@ func (f *Fetcher) Fetch(id OutputID, partition int, readerNode string) ([]byte, 
 // several goroutines share the Fetcher and want per-fetch metrics).
 func (f *Fetcher) FetchCounted(id OutputID, partition int, readerNode string) ([]byte, int, error) {
 	budget := f.retryBudget()
-	backoff := f.Backoff
-	if backoff <= 0 {
-		backoff = time.Millisecond
+	ceiling := f.Backoff
+	if ceiling <= 0 {
+		ceiling = time.Millisecond
+	}
+	maxBackoff := f.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 250 * time.Millisecond
 	}
 	retried := 0
 	var lastErr error
@@ -385,11 +420,30 @@ func (f *Fetcher) FetchCounted(id OutputID, partition int, readerNode string) ([
 		retried++
 		f.mu.Lock()
 		f.retries++
+		u := f.jitterLocked()
 		f.mu.Unlock()
-		time.Sleep(backoff)
-		backoff *= 2
+		if ceiling > maxBackoff {
+			ceiling = maxBackoff
+		}
+		if sleep := time.Duration(u * float64(ceiling)); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if ceiling < maxBackoff {
+			ceiling *= 2
+		}
 	}
 	return nil, retried, fmt.Errorf("shuffle: retries exhausted: %w", lastErr)
+}
+
+// jitterLocked draws the full-jitter fraction in [0,1). Caller holds f.mu.
+func (f *Fetcher) jitterLocked() float64 {
+	if f.Rand != nil {
+		return f.Rand()
+	}
+	if f.jrng == nil {
+		f.jrng = rand.New(rand.NewSource(1))
+	}
+	return f.jrng.Float64()
 }
 
 // sleepOwed adds delay to the shared owed accumulator and, once it is
