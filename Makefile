@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench chaos
+.PHONY: build vet test race check bench chaos trace
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,9 @@ bench:
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/
 	$(GO) test -race -count=1 -run 'TestChaos|TestBlacklist|TestAttemptFailureRacingNodeLoss|TestDecommissionDrain' ./internal/am/
+
+# trace runs a sample wordcount with the timeline journal attached and
+# writes trace.json (Chrome trace-event format — load it in Perfetto or
+# chrome://tracing) plus the raw journal as trace.jsonl.
+trace:
+	$(GO) run ./cmd/tez-timeline -trace trace.json -jsonl trace.jsonl

@@ -100,9 +100,15 @@ func TestBlacklistRescuesDAGFromSickNode(t *testing.T) {
 }
 
 // TestBlacklistDecayRestoresNode: after NodeBlacklistDecay the node is
-// un-blacklisted with a clean slate.
+// un-blacklisted with a clean slate. Driven by the injectable clock — no
+// sleeping, and the decay boundary is tested exactly.
 func TestBlacklistDecayRestoresNode(t *testing.T) {
-	cfg := Config{NodeMaxTaskFailures: 1, NodeBlacklistDecay: 10 * time.Millisecond}.withDefaults()
+	now := time.Unix(1000, 0)
+	cfg := Config{
+		NodeMaxTaskFailures: 1,
+		NodeBlacklistDecay:  10 * time.Millisecond,
+		Clock:               func() time.Time { return now },
+	}.withDefaults()
 	h := newNodeHealth(cfg, 8)
 	if !h.taskFailed("n1") {
 		t.Fatal("n1 not blacklisted at threshold 1")
@@ -110,7 +116,11 @@ func TestBlacklistDecayRestoresNode(t *testing.T) {
 	if !h.isBlacklisted("n1") || len(h.excludedIDs()) != 1 {
 		t.Fatal("n1 should be excluded")
 	}
-	time.Sleep(15 * time.Millisecond)
+	now = now.Add(9 * time.Millisecond)
+	if !h.isBlacklisted("n1") {
+		t.Fatal("n1 decayed before NodeBlacklistDecay elapsed")
+	}
+	now = now.Add(time.Millisecond)
 	if h.isBlacklisted("n1") {
 		t.Fatal("n1 still blacklisted after decay")
 	}

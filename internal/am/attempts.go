@@ -12,6 +12,7 @@ import (
 	"tez/internal/mailbox"
 	"tez/internal/metrics"
 	"tez/internal/runtime"
+	"tez/internal/timeline"
 )
 
 // scheduleTasks is the vertex-manager entry point: move the given pending
@@ -29,6 +30,10 @@ func (r *dagRun) scheduleTasks(vs *vertexState, ids []int) {
 			continue
 		}
 		ts.state = tScheduled
+		r.tl().Record(timeline.Event{
+			Type: timeline.TaskScheduled, DAG: r.id,
+			Vertex: vs.v.Name, Task: id,
+		})
 		r.newAttempt(ts, false)
 	}
 }
@@ -46,11 +51,20 @@ func (r *dagRun) newAttempt(ts *taskState, speculative bool) *attemptState {
 		priority: ts.vertex.priority,
 		hosts:    r.taskHosts(ts),
 		tag:      r,
+		dag:      r.id,
 		assign: func(pc *pooledContainer) {
 			r.mb.Put(msgAssigned{at: at, pc: pc})
 		},
 	}
 	at.req = req
+	info := ""
+	if speculative {
+		info = "speculative"
+	}
+	r.tl().Record(timeline.Event{
+		Type: timeline.AttemptRequested, DAG: r.id,
+		Vertex: ts.vertex.v.Name, Task: ts.idx, Attempt: at.id, Info: info,
+	})
 	r.session.sched.submit(req)
 	r.counters.Add("ATTEMPTS_LAUNCHED", 1)
 	if speculative {
@@ -108,7 +122,21 @@ func (r *dagRun) onAssigned(at *attemptState, pc *pooledContainer) {
 	if at.task.state == tScheduled {
 		at.task.state = tRunning
 	}
-	r.counters.Add("LOCALITY_"+pc.c.Locality.String(), 1)
+	loc := pc.c.Locality.String()
+	r.counters.Add("LOCALITY_"+loc, 1)
+	// Close the request→allocate→launch span: how long this attempt waited
+	// for its container, bucketed by the locality level achieved.
+	wait := r.clock().Sub(at.req.created)
+	if wait < 0 {
+		wait = 0
+	}
+	r.counters.Add("SCHED_ALLOC_WAIT_NS_"+loc, int64(wait))
+	r.counters.Add("SCHED_ALLOC_WAIT_COUNT_"+loc, 1)
+	r.tl().Record(timeline.Event{
+		Type: timeline.AttemptStarted, DAG: r.id,
+		Vertex: at.task.vertex.v.Name, Task: at.task.idx, Attempt: at.id,
+		Node: at.node, Container: int64(pc.c.ID), Info: loc, Val: int64(wait),
+	})
 
 	spec := r.buildTaskSpec(at)
 	fetchPar := r.session.cfg.ShuffleFetchParallelism
@@ -346,6 +374,7 @@ func (r *dagRun) attemptSucceeded(at *attemptState) {
 }
 
 func (r *dagRun) recordAttempt(at *attemptState, outcome string) {
+	end := time.Now()
 	r.trace.Record(metrics.AttemptRecord{
 		Vertex:      at.task.vertex.v.Name,
 		Task:        at.task.idx,
@@ -354,8 +383,21 @@ func (r *dagRun) recordAttempt(at *attemptState, outcome string) {
 		Locality:    at.locality.String(),
 		Speculative: at.speculative,
 		Start:       at.start,
-		End:         time.Now(),
+		End:         end,
 		Outcome:     outcome,
+	})
+	var cid int64
+	if at.pc != nil {
+		cid = int64(at.pc.c.ID)
+	}
+	var dur time.Duration
+	if !at.start.IsZero() {
+		dur = end.Sub(at.start)
+	}
+	r.tl().Record(timeline.Event{
+		Type: timeline.AttemptFinished, DAG: r.id,
+		Vertex: at.task.vertex.v.Name, Task: at.task.idx, Attempt: at.id,
+		Node: at.node, Container: cid, Info: outcome, Dur: dur,
 	})
 }
 
@@ -367,6 +409,9 @@ func (r *dagRun) vertexSucceeded(vs *vertexState) {
 	}
 	vs.state = vSucceeded
 	r.counters.Add("VERTICES_SUCCEEDED", 1)
+	// Recorded before saveCheckpoint so the checkpointed journal stream
+	// includes this vertex's completion (AM-crash recovery coherence).
+	r.tl().Record(timeline.Event{Type: timeline.VertexSucceeded, DAG: r.id, Vertex: vs.v.Name})
 	r.session.sched.sweepVertexRegistries(r.id, vs.v.Name)
 	if len(vs.v.Sinks) > 0 && !vs.committed {
 		vs.committed = true

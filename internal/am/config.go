@@ -15,6 +15,7 @@ import (
 
 	"tez/internal/chaos"
 	"tez/internal/cluster"
+	"tez/internal/timeline"
 )
 
 // Config tunes a session (and the DAGs it runs).
@@ -110,6 +111,19 @@ type Config struct {
 	// completions (§4.3 AM recovery drill). Data-plane injection is wired
 	// separately via platform.Config.Chaos — usually the same plane.
 	Chaos *chaos.Plane
+
+	// Timeline, when set, receives structured lifecycle events from the
+	// AM: DAG/vertex/task-attempt transitions, scheduler allocation spans,
+	// container reuse, blacklist actions. Nil records nothing (the
+	// production default). Data-plane events (cluster allocation, shuffle
+	// fetches) are wired separately via platform.Config.Timeline — usually
+	// the same journal.
+	Timeline *timeline.Journal
+	// Clock supplies time to the AM's node-health decay and scheduler
+	// wait accounting. Nil means time.Now; inject a fake for
+	// deterministic tests (pair it with timeline.WithClock so journal
+	// stamps agree).
+	Clock timeline.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +174,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBlacklistFraction <= 0 || c.MaxBlacklistFraction > 1 {
 		c.MaxBlacklistFraction = 0.33
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }

@@ -11,6 +11,7 @@ import (
 	"tez/internal/metrics"
 	"tez/internal/runtime"
 	"tez/internal/security"
+	"tez/internal/timeline"
 )
 
 // DAGStatus is the terminal state of a DAG run.
@@ -228,6 +229,20 @@ type dagRun struct {
 	recovered *checkpoint
 }
 
+// tl returns the session's timeline journal (nil-safe: recording on a nil
+// journal is a no-op, so call sites never guard).
+func (r *dagRun) tl() *timeline.Journal { return r.cfg.Timeline }
+
+// clock reads the session clock (Config.Clock, defaulted to time.Now).
+// Scheduler wait spans are measured against it so fake-clock tests see
+// coherent durations.
+func (r *dagRun) clock() time.Time {
+	if r.cfg.Clock != nil {
+		return r.cfg.Clock()
+	}
+	return time.Now()
+}
+
 func newDAGRun(s *Session, d *dag.DAG, id string) (*dagRun, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -320,6 +335,10 @@ func (r *dagRun) loop() {
 	r.result.Duration = time.Since(r.started)
 	r.result.Counters = r.counters
 	r.result.Trace = r.trace
+	r.tl().Record(timeline.Event{
+		Type: timeline.DAGFinished, DAG: r.id,
+		Info: r.result.Status.String(), Dur: r.result.Duration,
+	})
 	r.session.runFinished(r)
 	close(r.done)
 }
@@ -353,6 +372,14 @@ func (r *dagRun) dispatch(m amMsg) {
 func (r *dagRun) bootstrap() {
 	if r.recovered != nil {
 		r.applyCheckpoint(r.recovered)
+	} else {
+		r.tl().Record(timeline.Event{Type: timeline.DAGSubmitted, DAG: r.id, Info: r.d.Name})
+		for _, es := range r.edges {
+			r.tl().Record(timeline.Event{
+				Type: timeline.EdgeDeclared, DAG: r.id,
+				Vertex: es.e.From, Info: es.e.To,
+			})
+		}
 	}
 	for _, name := range r.topo {
 		vs := r.vertices[name]
@@ -498,6 +525,10 @@ func (r *dagRun) tryInitVertex(vs *vertexState) {
 	for i := range vs.tasks {
 		vs.tasks[i] = &taskState{vertex: vs, idx: i}
 	}
+	r.tl().Record(timeline.Event{
+		Type: timeline.VertexInited, DAG: r.id,
+		Vertex: vs.v.Name, Val: int64(vs.parallelism),
+	})
 	// Answer any blocked initializer queries for this vertex.
 	for _, w := range vs.parWaiters {
 		w <- vs.parallelism
@@ -614,6 +645,7 @@ func (r *dagRun) startVertex(vs *vertexState) {
 		r.vertexSucceeded(vs)
 		return
 	}
+	r.tl().Record(timeline.Event{Type: timeline.VertexStarted, DAG: r.id, Vertex: vs.v.Name})
 	mgr, err := newVertexManager(vs.v.Manager)
 	if err != nil {
 		r.fail(DAGFailed, err)

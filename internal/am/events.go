@@ -4,6 +4,7 @@ import (
 	"tez/internal/cluster"
 	"tez/internal/dag"
 	"tez/internal/event"
+	"tez/internal/timeline"
 )
 
 // onTaskEvent routes a control event emitted by a task (§3.3): the
@@ -129,6 +130,10 @@ func (r *dagRun) onInputReadError(e event.InputReadError) {
 	} else if ts.restored {
 		node = ts.restoredNode
 	}
+	r.tl().Record(timeline.Event{
+		Type: timeline.InputReadError, DAG: r.id,
+		Vertex: e.SrcVertex, Task: e.SrcTask, Attempt: e.SrcAttempt, Node: node,
+	})
 	if node != "" && !r.deadNodes[node] {
 		if r.session.health.fetchFailed(node) {
 			r.counters.Add("NODES_BLACKLISTED", 1)

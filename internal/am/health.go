@@ -7,6 +7,7 @@ import (
 
 	"tez/internal/cluster"
 	"tez/internal/metrics"
+	"tez/internal/timeline"
 )
 
 // nodeHealth is the session's per-node failure tracker and blacklist — the
@@ -24,6 +25,8 @@ type nodeHealth struct {
 	maxFailures int
 	decay       time.Duration
 	capCount    int
+	now         timeline.Clock     // injectable (Config.Clock)
+	tl          *timeline.Journal // nil-safe event sink
 
 	mu          sync.Mutex
 	nodes       map[string]*nodeRecord
@@ -45,10 +48,16 @@ func newNodeHealth(cfg Config, totalNodes int) *nodeHealth {
 	if capCount < 1 {
 		capCount = 1
 	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
 	return &nodeHealth{
 		maxFailures: cfg.NodeMaxTaskFailures,
 		decay:       cfg.NodeBlacklistDecay,
 		capCount:    capCount,
+		now:         now,
+		tl:          cfg.Timeline,
 		nodes:       make(map[string]*nodeRecord),
 	}
 }
@@ -64,7 +73,7 @@ func (h *nodeHealth) taskFailed(node string) bool {
 	h.decayLocked()
 	r := h.recLocked(node)
 	r.taskFailures++
-	return h.maybeBlacklistLocked(r)
+	return h.maybeBlacklistLocked(node, r)
 }
 
 // fetchFailed attributes one fetch-failure retraction (a consumer reported
@@ -78,7 +87,7 @@ func (h *nodeHealth) fetchFailed(node string) bool {
 	h.decayLocked()
 	r := h.recLocked(node)
 	r.fetchFailures++
-	return h.maybeBlacklistLocked(r)
+	return h.maybeBlacklistLocked(node, r)
 }
 
 // isBlacklisted reports whether node is currently excluded.
@@ -144,7 +153,7 @@ func (h *nodeHealth) recLocked(node string) *nodeRecord {
 }
 
 // maybeBlacklistLocked applies the threshold and the cluster-fraction cap.
-func (h *nodeHealth) maybeBlacklistLocked(r *nodeRecord) bool {
+func (h *nodeHealth) maybeBlacklistLocked(node string, r *nodeRecord) bool {
 	if r.blacklisted {
 		return false
 	}
@@ -155,9 +164,13 @@ func (h *nodeHealth) maybeBlacklistLocked(r *nodeRecord) bool {
 		return false // cap hit: relax rather than exclude more of the cluster
 	}
 	r.blacklisted = true
-	r.blacklistedAt = time.Now()
+	r.blacklistedAt = h.now()
 	r.enters++
 	h.blacklisted++
+	h.tl.Record(timeline.Event{
+		Type: timeline.NodeBlacklisted, Node: node,
+		Val: int64(r.taskFailures + r.fetchFailures),
+	})
 	return true
 }
 
@@ -167,14 +180,15 @@ func (h *nodeHealth) decayLocked() {
 	if h.decay <= 0 {
 		return
 	}
-	now := time.Now()
-	for _, r := range h.nodes {
+	now := h.now()
+	for node, r := range h.nodes {
 		if r.blacklisted && now.Sub(r.blacklistedAt) >= h.decay {
 			r.blacklisted = false
 			r.exits++
 			r.taskFailures = 0
 			r.fetchFailures = 0
 			h.blacklisted--
+			h.tl.Record(timeline.Event{Type: timeline.NodeUnblacklisted, Node: node})
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"tez/internal/dag"
 	"tez/internal/event"
 	"tez/internal/plugin"
+	"tez/internal/timeline"
 )
 
 // The AM periodically checkpoints its state; if the node running the AM
@@ -37,6 +38,10 @@ type checkpoint struct {
 	DAGName  string
 	Vertices map[string]vertexCheckpoint
 	Edges    []edgeCheckpoint
+	// Timeline is the run's journal stream at checkpoint time. On recovery
+	// it is Imported into the new AM's journal, which dedupes by sequence
+	// number — the merged history is coherent across the crash.
+	Timeline []timeline.Event
 }
 
 func (r *dagRun) checkpointPath() string {
@@ -82,6 +87,7 @@ func (r *dagRun) saveCheckpoint() {
 		}
 		cp.Edges = append(cp.Edges, ec)
 	}
+	cp.Timeline = r.tl().DAGEvents(r.id)
 	data := plugin.MustEncode(cp)
 	fs := r.session.plat.FS
 	path := r.checkpointPath()
@@ -110,6 +116,8 @@ func loadCheckpoint(s *Session, dagName string) (*checkpoint, bool) {
 // applyCheckpoint restores completed vertices and edge movement history
 // into a fresh run (invoked on the dispatcher at bootstrap).
 func (r *dagRun) applyCheckpoint(cp *checkpoint) {
+	r.tl().Import(cp.Timeline)
+	restored := 0
 	for name, vc := range cp.Vertices {
 		vs, ok := r.vertices[name]
 		if !ok || vc.Parallelism <= 0 || len(vc.Tasks) != vc.Parallelism {
@@ -132,7 +140,13 @@ func (r *dagRun) applyCheckpoint(cp *checkpoint) {
 		vs.commitComplete = vc.Committed
 		vs.committed = vc.Committed
 		r.counters.Add("VERTICES_RECOVERED", 1)
+		restored++
+		r.tl().Record(timeline.Event{Type: timeline.VertexRecovered, DAG: r.id, Vertex: name})
 	}
+	r.tl().Record(timeline.Event{
+		Type: timeline.DAGRecovered, DAG: r.id,
+		Info: r.d.Name, Val: int64(restored),
+	})
 	for _, ec := range cp.Edges {
 		es := r.findEdge(ec.From, ec.To)
 		if es == nil {

@@ -7,6 +7,7 @@ import (
 
 	"tez/internal/cluster"
 	"tez/internal/runtime"
+	"tez/internal/timeline"
 )
 
 // taskRequest asks the scheduler for a container to run one task attempt.
@@ -19,6 +20,9 @@ type taskRequest struct {
 	assign func(*pooledContainer)
 	// tag identifies the requesting DAG run (deadlock detection scope).
 	tag any
+	// dag is the requesting run's id, for timeline attribution ("" for
+	// prewarm requests, which are session-scoped).
+	dag string
 
 	created   time.Time
 	cancelled bool
@@ -33,6 +37,7 @@ type pooledContainer struct {
 	registry *runtime.ObjectRegistry
 
 	idleSince time.Time
+	execs     int // assignments so far (reuse accounting; 0 = never ran a task)
 }
 
 // schedStats counts scheduler activity for tests and benchmarks.
@@ -53,6 +58,8 @@ type scheduler struct {
 	// disabled. Blacklisted nodes are excluded from RM requests and from
 	// idle-container reuse.
 	health *nodeHealth
+	now    timeline.Clock    // injectable (Config.Clock)
+	tl     *timeline.Journal // nil-safe event sink
 
 	mu         sync.Mutex
 	idle       []*pooledContainer
@@ -72,12 +79,19 @@ type scheduler struct {
 }
 
 func newScheduler(cfg Config, app *cluster.Application, health *nodeHealth) *scheduler {
-	return &scheduler{cfg: cfg, app: app, health: health, held: make(map[cluster.ContainerID]*pooledContainer)}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	return &scheduler{
+		cfg: cfg, app: app, health: health, now: now, tl: cfg.Timeline,
+		held: make(map[cluster.ContainerID]*pooledContainer),
+	}
 }
 
 // submit requests a container for a task attempt.
 func (s *scheduler) submit(req *taskRequest) {
-	req.created = time.Now()
+	req.created = s.now()
 	s.enqueue(req)
 }
 
@@ -96,8 +110,15 @@ func (s *scheduler) enqueue(req *taskRequest) {
 	}
 	if pc := s.takeIdleLocked(req); pc != nil {
 		s.stats.Reused++
-		s.lastAssign = time.Now()
+		s.lastAssign = s.now()
+		prior := pc.execs
+		pc.execs++
 		s.mu.Unlock()
+		s.tl.Record(timeline.Event{
+			Type: timeline.ContainerReused, DAG: req.dag,
+			Node: string(pc.c.Node()), Container: int64(pc.c.ID),
+			Val: int64(prior),
+		})
 		req.assign(pc)
 		return
 	}
@@ -197,7 +218,7 @@ func (s *scheduler) onAllocated(c *cluster.Container, rmReq *cluster.ContainerRe
 			req = nil
 		}
 	}
-	s.lastAssign = time.Now()
+	s.lastAssign = s.now()
 	s.mu.Unlock()
 
 	// Launch outside locks: this pays the container start overhead.
@@ -216,6 +237,9 @@ func (s *scheduler) onAllocated(c *cluster.Container, rmReq *cluster.ContainerRe
 		return
 	}
 	if req != nil {
+		s.mu.Lock()
+		pc.execs++
+		s.mu.Unlock()
 		req.assign(pc)
 		return
 	}
@@ -240,12 +264,19 @@ func (s *scheduler) release(pc *pooledContainer, reusable bool) {
 			s.app.Cancel(req.rmReq)
 		}
 		s.stats.Reused++
-		s.lastAssign = time.Now()
+		s.lastAssign = s.now()
+		prior := pc.execs
+		pc.execs++
 		s.mu.Unlock()
+		s.tl.Record(timeline.Event{
+			Type: timeline.ContainerReused, DAG: req.dag,
+			Node: string(pc.c.Node()), Container: int64(pc.c.ID),
+			Val: int64(prior),
+		})
 		req.assign(pc)
 		return
 	}
-	pc.idleSince = time.Now()
+	pc.idleSince = s.now()
 	s.idle = append(s.idle, pc)
 	s.mu.Unlock()
 }
@@ -315,7 +346,7 @@ func (s *scheduler) removePendingLocked(req *taskRequest) {
 func (s *scheduler) reapIdle() {
 	var victims []*pooledContainer
 	s.mu.Lock()
-	now := time.Now()
+	now := s.now()
 	kept := s.idle[:0]
 	for _, pc := range s.idle {
 		if now.Sub(pc.idleSince) > s.cfg.ContainerIdleRelease {
@@ -336,7 +367,16 @@ func (s *scheduler) reapIdle() {
 func (s *scheduler) prewarm(n int) {
 	for i := 0; i < n; i++ {
 		req := &taskRequest{priority: 1 << 20}
-		req.assign = func(pc *pooledContainer) { s.release(pc, true) }
+		req.assign = func(pc *pooledContainer) {
+			s.mu.Lock()
+			pc.execs = 0 // prewarm isn't a task execution: a later hit is a warm hit
+			s.mu.Unlock()
+			s.tl.Record(timeline.Event{
+				Type: timeline.ContainerPrewarmed,
+				Node: string(pc.c.Node()), Container: int64(pc.c.ID),
+			})
+			s.release(pc, true)
+		}
 		s.submit(req)
 	}
 }
@@ -349,7 +389,7 @@ func (s *scheduler) prewarm(n int) {
 func (s *scheduler) pendingInfo(tag any) (n int, oldest, sinceAssign time.Duration, minPriority int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	now := time.Now()
+	now := s.now()
 	sinceAssign = time.Duration(1 << 60)
 	if !s.lastAssign.IsZero() {
 		sinceAssign = now.Sub(s.lastAssign)

@@ -5,6 +5,7 @@ import (
 
 	"tez/internal/dag"
 	"tez/internal/plugin"
+	"tez/internal/timeline"
 )
 
 // vmContext implements VertexManagerContext for a vertex. Every method
@@ -139,6 +140,10 @@ func (c *vmContext) SetParallelismWithEdges(n int, edgeManagers map[string]plugi
 		sw.es.e.Property.Manager = sw.desc
 	}
 	run.counters.Add("PARALLELISM_RECONFIGURED", 1)
+	run.tl().Record(timeline.Event{
+		Type: timeline.VertexReconfigured, DAG: run.id,
+		Vertex: vs.v.Name, Val: int64(n),
+	})
 	return nil
 }
 

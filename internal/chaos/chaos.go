@@ -122,6 +122,10 @@ type Plane struct {
 	// together. Unset callbacks make node actions no-ops.
 	FailNode         func(node string)
 	DecommissionNode func(node string)
+	// Observer, when set, is told about every injected fault as (kind,
+	// site) — the platform binds it to the timeline journal. Called
+	// outside the plane's lock.
+	Observer func(kind, site string)
 
 	nodes   []string
 	actions []NodeAction // sorted by Step
@@ -295,6 +299,9 @@ func (p *Plane) roll(kind, site string, prob float64) bool {
 		p.mu.Lock()
 		p.injected[kind]++
 		p.mu.Unlock()
+		if p.Observer != nil {
+			p.Observer(kind, site)
+		}
 	}
 	return hit
 }
@@ -318,6 +325,11 @@ func (p *Plane) TaskStarted(node string) {
 		p.injected["node_actions"] += int64(len(due))
 	}
 	p.mu.Unlock()
+	if p.Observer != nil {
+		for _, a := range due {
+			p.Observer("node_action", a.String())
+		}
+	}
 	for _, a := range due {
 		a := a
 		go func() {
@@ -355,6 +367,9 @@ func (p *Plane) ExecFault(node, site string) error {
 	}
 	p.mu.Unlock()
 	if sick {
+		if p.Observer != nil {
+			p.Observer("exec_sick", node+"/"+site)
+		}
 		return fmt.Errorf("%w (sick node %s)", ErrTaskFault, node)
 	}
 	if p.roll("exec", node+"/"+site, p.spec.TaskFaultProb) {
@@ -431,14 +446,18 @@ func (p *Plane) OnVertexCompleted() bool {
 		return false
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	crash := false
 	p.completed++
 	if !p.amCrashed && p.completed >= p.spec.AMCrashAfterVertexCompletions {
 		p.amCrashed = true
 		p.injected["am_crash"]++
-		return true
+		crash = true
 	}
-	return false
+	p.mu.Unlock()
+	if crash && p.Observer != nil {
+		p.Observer("am_crash", fmt.Sprintf("after %d vertex completions", p.spec.AMCrashAfterVertexCompletions))
+	}
+	return crash
 }
 
 // mix is the splitmix64 finalizer: a cheap, well-distributed hash step.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"tez/internal/chaos"
+	"tez/internal/timeline"
 )
 
 // Resource is a multi-dimensional resource vector, like YARN's
@@ -106,6 +107,9 @@ type Config struct {
 	// Chaos, when set, injects faults into container launch and execution
 	// (nil means no injection).
 	Chaos *chaos.Plane
+	// Timeline, when set, receives allocation, container-stop and node
+	// events (nil records nothing).
+	Timeline *timeline.Journal
 }
 
 func (c Config) withDefaults() Config {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tez/internal/mailbox"
+	"tez/internal/timeline"
 )
 
 // ResourceManager is the cluster-wide allocator: the stand-in for the YARN
@@ -190,6 +191,11 @@ func (rm *ResourceManager) failNode(id NodeID, planned bool) {
 	for _, c := range victims {
 		rm.stopContainer(c, StopNodeLost, true)
 	}
+	typ := timeline.NodeFailed
+	if planned {
+		typ = timeline.NodeDecommissioned
+	}
+	rm.cfg.Timeline.Record(timeline.Event{Type: typ, Node: string(id)})
 	for _, a := range apps {
 		a.events.Put(NodeFailedEvent{Node: id, Decommissioned: planned})
 	}
@@ -236,6 +242,10 @@ func (rm *ResourceManager) stopContainer(c *Container, reason StopReason, notify
 	if app != nil {
 		app.removeContainer(c)
 		if notify {
+			rm.cfg.Timeline.Record(timeline.Event{
+				Type: timeline.ContainerStopped,
+				Node: string(n.ID), Container: int64(c.ID), Info: reason.String(),
+			})
 			app.events.Put(ContainerStoppedEvent{ContainerID: c.ID, Node: n.ID, Reason: reason})
 		}
 	}
@@ -477,6 +487,10 @@ func (rm *ResourceManager) allocate(a *Application, req *ContainerRequest, n *No
 	a.containers[c.ID] = c
 	a.allocated = a.allocated.Add(req.Resource)
 	a.mu.Unlock()
+	rm.cfg.Timeline.Record(timeline.Event{
+		Type: timeline.ContainerAllocated,
+		Node: string(n.ID), Container: int64(c.ID), Info: loc.String(),
+	})
 	return c
 }
 

@@ -139,6 +139,37 @@ func SeriesNames(samples []Sample) []string {
 	return names
 }
 
+// AllocWait summarises scheduler time-to-allocate for one locality level:
+// how many attempts were placed at that level and their mean wait from
+// request submission to container assignment.
+type AllocWait struct {
+	Locality string
+	Count    int64
+	Mean     time.Duration
+}
+
+// AllocWaitReport extracts per-locality allocation-wait statistics from a
+// counter set (the AM maintains SCHED_ALLOC_WAIT_NS_<LEVEL> /
+// SCHED_ALLOC_WAIT_COUNT_<LEVEL> pairs), sorted by locality level name.
+func AllocWaitReport(c *Counters) []AllocWait {
+	snap := c.Snapshot()
+	var out []AllocWait
+	for k, count := range snap {
+		loc, ok := strings.CutPrefix(k, "SCHED_ALLOC_WAIT_COUNT_")
+		if !ok || count <= 0 {
+			continue
+		}
+		ns := snap["SCHED_ALLOC_WAIT_NS_"+loc]
+		out = append(out, AllocWait{
+			Locality: loc,
+			Count:    count,
+			Mean:     time.Duration(ns / count),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Locality < out[j].Locality })
+	return out
+}
+
 // NodeHealth is one node's failure-tracking snapshot from the AM's
 // blacklisting subsystem: how many genuine attempt failures and fetch-
 // failure retractions were attributed to it, and its blacklist history.

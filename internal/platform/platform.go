@@ -13,6 +13,7 @@ import (
 	"tez/internal/dfs"
 	"tez/internal/security"
 	"tez/internal/shuffle"
+	"tez/internal/timeline"
 )
 
 // Config aggregates substrate configs. The node topology is defined once
@@ -25,6 +26,12 @@ type Config struct {
 	// every substrate; its scheduled node actions fire through the
 	// platform's FailNode/Decommission so all layers see them together.
 	Chaos *chaos.Plane
+	// Timeline, when set, is threaded into the cluster and shuffle configs
+	// so data-plane events (allocations, node events, fetch spans) land in
+	// the same journal as the AM's — usually the journal also passed as
+	// am.Config.Timeline. When Chaos is also set, injected faults are
+	// journalled as ChaosFault events through the plane's Observer.
+	Timeline *timeline.Journal
 }
 
 // Default returns a laptop-scale config with mild, visible overheads:
@@ -100,6 +107,10 @@ func New(cfg Config) *Platform {
 		cfg.DFS.Chaos = cfg.Chaos
 		cfg.Shuffle.Chaos = cfg.Chaos
 	}
+	if cfg.Timeline != nil {
+		cfg.Cluster.Timeline = cfg.Timeline
+		cfg.Shuffle.Timeline = cfg.Timeline
+	}
 	p := &Platform{
 		RM:      cluster.New(cfg.Cluster),
 		FS:      dfs.New(cfg.DFS),
@@ -116,6 +127,11 @@ func New(cfg Config) *Platform {
 		cfg.Chaos.Bind(nodes)
 		cfg.Chaos.FailNode = func(n string) { p.FailNode(cluster.NodeID(n)) }
 		cfg.Chaos.DecommissionNode = func(n string) { p.Decommission(cluster.NodeID(n)) }
+		if tl := cfg.Timeline; tl != nil {
+			cfg.Chaos.Observer = func(kind, site string) {
+				tl.Record(timeline.Event{Type: timeline.ChaosFault, Info: kind + " " + site})
+			}
+		}
 	}
 	return p
 }

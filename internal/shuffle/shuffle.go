@@ -21,6 +21,7 @@ import (
 
 	"tez/internal/chaos"
 	"tez/internal/security"
+	"tez/internal/timeline"
 )
 
 // Errors reported by the service.
@@ -56,6 +57,9 @@ type Config struct {
 	// TransientErrorRate's shared RNG, chaos decisions are deterministic
 	// per fetch site.
 	Chaos *chaos.Plane
+	// Timeline, when set, receives a ShuffleFetch span per successful
+	// fetch and a ShuffleFetchError per failed one (nil records nothing).
+	Timeline *timeline.Journal
 }
 
 // OutputID names one task attempt's registered output. Name distinguishes
@@ -241,6 +245,15 @@ func (s *Service) Fetch(id OutputID, partition int, readerNode string, tok ...se
 	return data, nil
 }
 
+// recordFetchErr journals one failed fetch (nil-safe).
+func (s *Service) recordFetchErr(id OutputID, partition int, readerNode, node, class string) {
+	s.cfg.Timeline.Record(timeline.Event{
+		Type: timeline.ShuffleFetchError, DAG: id.DAG,
+		Vertex: id.Vertex, Task: id.Task, Attempt: id.Attempt, Node: node,
+		Info: fmt.Sprintf("%s %s p%d -> %s", class, id.Name, partition, readerNode),
+	})
+}
+
 // FetchNoWait is Fetch with the transfer cost returned instead of slept —
 // consumers doing many small fetches accumulate the owed delay and sleep
 // in coarse chunks (sub-millisecond sleeps round up to the OS timer
@@ -257,28 +270,37 @@ func (s *Service) FetchNoWait(id OutputID, partition int, readerNode string, tok
 	o, ok := s.outputs[id]
 	if !ok {
 		s.mu.Unlock()
+		s.recordFetchErr(id, partition, readerNode, "", "DATA_LOST")
 		return nil, 0, fmt.Errorf("shuffle: %s p%d: %w", id, partition, ErrDataLost)
 	}
 	if !s.live[o.node] {
+		node := o.node
 		s.mu.Unlock()
-		return nil, 0, fmt.Errorf("shuffle: %s node %s down: %w", id, o.node, ErrDataLost)
+		s.recordFetchErr(id, partition, readerNode, node, "NODE_DOWN")
+		return nil, 0, fmt.Errorf("shuffle: %s node %s down: %w", id, node, ErrDataLost)
 	}
 	if partition < 0 || partition >= len(o.partitions) {
 		s.mu.Unlock()
 		return nil, 0, fmt.Errorf("shuffle: %s has no partition %d", id, partition)
 	}
 	if s.cfg.TransientErrorRate > 0 && s.rng.Float64() < s.cfg.TransientErrorRate {
+		node := o.node
 		s.mu.Unlock()
+		s.recordFetchErr(id, partition, readerNode, node, "TRANSIENT")
 		return nil, 0, fmt.Errorf("shuffle: %s p%d: %w", id, partition, ErrTransient)
 	}
 	if s.cfg.Chaos != nil {
 		site := fmt.Sprintf("%s/p%d/%s", id, partition, readerNode)
 		switch s.cfg.Chaos.FetchFault(site) {
 		case chaos.FaultTransient:
+			node := o.node
 			s.mu.Unlock()
+			s.recordFetchErr(id, partition, readerNode, node, "TRANSIENT_INJECTED")
 			return nil, 0, fmt.Errorf("shuffle: %s p%d: injected: %w", id, partition, ErrTransient)
 		case chaos.FaultDataLost:
+			node := o.node
 			s.mu.Unlock()
+			s.recordFetchErr(id, partition, readerNode, node, "DATA_LOST_INJECTED")
 			return nil, 0, fmt.Errorf("shuffle: %s p%d: injected: %w", id, partition, ErrDataLost)
 		}
 	}
@@ -300,7 +322,14 @@ func (s *Service) FetchNoWait(id OutputID, partition int, readerNode string, tok
 	if f := s.cfg.Chaos.FetchDelayFactor(o.node); f > 1 {
 		delay = time.Duration(float64(delay) * f)
 	}
+	node := o.node
 	s.mu.Unlock()
+	s.cfg.Timeline.Record(timeline.Event{
+		Type: timeline.ShuffleFetch, DAG: id.DAG,
+		Vertex: id.Vertex, Task: id.Task, Attempt: id.Attempt, Node: node,
+		Info: fmt.Sprintf("%s p%d -> %s", id.Name, partition, readerNode),
+		Dur:  delay, Val: int64(len(data)),
+	})
 	return data, delay, nil
 }
 

@@ -1,0 +1,393 @@
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Analyzers over a recorded journal: critical-path extraction (the
+// longest chain of attempt spans and the waits between them that bounds
+// DAG completion, à la the paper's Figure 12 discussion), per-vertex
+// attempt-duration percentiles, and container-utilisation swimlanes.
+
+// Segment is one step of the critical path. The segments of a Path tile
+// the [DAG start, DAG finish] interval exactly, so their durations sum to
+// the measured wall-clock by construction.
+type Segment struct {
+	// Kind is "startup" (init + first allocation), "run" (an attempt
+	// executing), "wait" (gap between the enabling producer finishing and
+	// the consumer attempt starting: scheduling + shuffle wait), or
+	// "finish" (commit + teardown after the last attempt).
+	Kind    string
+	Vertex  string
+	Task    int
+	Attempt int
+	Node    string
+	Start   time.Time
+	End     time.Time
+}
+
+// Duration returns the segment's length.
+func (s Segment) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+func (s Segment) String() string {
+	switch s.Kind {
+	case "run":
+		return fmt.Sprintf("run   %s/t%03d_a%d on %s  %v", s.Vertex, s.Task, s.Attempt, s.Node, s.Duration().Round(time.Microsecond))
+	case "wait":
+		return fmt.Sprintf("wait  before %s/t%03d  %v", s.Vertex, s.Task, s.Duration().Round(time.Microsecond))
+	default:
+		return fmt.Sprintf("%-5s %v", s.Kind, s.Duration().Round(time.Microsecond))
+	}
+}
+
+// Path is one DAG run's critical path.
+type Path struct {
+	DAG      string
+	Start    time.Time
+	End      time.Time
+	Segments []Segment
+}
+
+// Wall returns the DAG's measured wall-clock (finish - start).
+func (p Path) Wall() time.Duration { return p.End.Sub(p.Start) }
+
+// Total sums the segment durations. Because segments tile the run
+// interval, Total equals Wall for a well-formed journal.
+func (p Path) Total() time.Duration {
+	var t time.Duration
+	for _, s := range p.Segments {
+		t += s.Duration()
+	}
+	return t
+}
+
+func (p Path) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path %s: wall=%v path=%v\n", p.DAG, p.Wall().Round(time.Microsecond), p.Total().Round(time.Microsecond))
+	for _, s := range p.Segments {
+		off := s.Start.Sub(p.Start).Round(time.Microsecond)
+		fmt.Fprintf(&b, "  +%-10v %s\n", off, s)
+	}
+	return b.String()
+}
+
+// attemptSpan is a reconstructed successful attempt.
+type attemptSpan struct {
+	vertex     string
+	task, id   int
+	node       string
+	start, end time.Time
+}
+
+// LastDAG returns the run id of the last DAG_FINISHED event (or the last
+// DAG-stamped event when none finished), "" if the journal has no runs.
+func LastDAG(events []Event) string {
+	dag := ""
+	for _, e := range events {
+		if e.Type == DAGFinished {
+			dag = e.DAG
+		}
+	}
+	if dag != "" {
+		return dag
+	}
+	for _, e := range events {
+		if e.DAG != "" {
+			dag = e.DAG
+		}
+	}
+	return dag
+}
+
+// CriticalPath extracts the run's critical path: starting from the
+// latest-finishing winner attempt, it repeatedly steps to the source-
+// vertex winner whose completion enabled the current attempt (the
+// latest-finishing producer that ended before the current attempt did),
+// then tiles the chain into run/wait segments bounded by the DAG's
+// submit and finish events.
+func CriticalPath(events []Event, dag string) (Path, error) {
+	if dag == "" {
+		dag = LastDAG(events)
+	}
+	p := Path{DAG: dag}
+	if dag == "" {
+		return p, fmt.Errorf("timeline: no DAG runs in journal")
+	}
+
+	// Bounds, structure and winner attempts.
+	sources := map[string][]string{} // vertex → source vertices
+	winners := map[string]map[int]attemptSpan{}
+	var haveStart, haveEnd bool
+	for _, e := range events {
+		if e.DAG != dag {
+			continue
+		}
+		switch e.Type {
+		case DAGSubmitted, DAGRecovered:
+			if !haveStart || e.Wall.Before(p.Start) {
+				p.Start, haveStart = e.Wall, true
+			}
+		case DAGFinished:
+			p.End, haveEnd = e.Wall, true
+		case EdgeDeclared:
+			sources[e.Info] = append(sources[e.Info], e.Vertex)
+		case AttemptFinished:
+			if e.Info != "SUCCEEDED" {
+				continue
+			}
+			span := attemptSpan{vertex: e.Vertex, task: e.Task, id: e.Attempt, node: e.Node, start: e.Start(), end: e.Wall}
+			byTask := winners[e.Vertex]
+			if byTask == nil {
+				byTask = map[int]attemptSpan{}
+				winners[e.Vertex] = byTask
+			}
+			// Re-execution can succeed the same task twice; the latest
+			// success is the one consumers ultimately depended on.
+			if cur, ok := byTask[e.Task]; !ok || span.end.After(cur.end) {
+				byTask[e.Task] = span
+			}
+		}
+	}
+	if !haveStart {
+		return p, fmt.Errorf("timeline: run %s has no start event", dag)
+	}
+	if !haveEnd {
+		return p, fmt.Errorf("timeline: run %s has no DAG_FINISHED event", dag)
+	}
+	if len(winners) == 0 {
+		// Fully-recovered runs can finish with zero fresh attempts.
+		p.Segments = []Segment{{Kind: "finish", Start: p.Start, End: p.End}}
+		return p, nil
+	}
+
+	// Walk back from the latest-finishing winner.
+	latest := func(vertices []string, before time.Time) (attemptSpan, bool) {
+		var best attemptSpan
+		found := false
+		for _, v := range vertices {
+			for _, span := range winners[v] {
+				if !before.IsZero() && !span.end.Before(before) {
+					continue
+				}
+				if !found || span.end.After(best.end) ||
+					(span.end.Equal(best.end) && (span.vertex < best.vertex || span.vertex == best.vertex && span.task < best.task)) {
+					best, found = span, true
+				}
+			}
+		}
+		return best, found
+	}
+	allVertices := make([]string, 0, len(winners))
+	for v := range winners {
+		allVertices = append(allVertices, v)
+	}
+	sort.Strings(allVertices)
+	cur, ok := latest(allVertices, time.Time{})
+	if !ok {
+		return p, fmt.Errorf("timeline: run %s has no successful attempts", dag)
+	}
+	var chain []attemptSpan
+	seen := map[string]bool{}
+	for {
+		key := fmt.Sprintf("%s/%d/%d", cur.vertex, cur.task, cur.id)
+		if seen[key] {
+			break
+		}
+		seen[key] = true
+		chain = append(chain, cur)
+		pred, ok := latest(sources[cur.vertex], cur.end)
+		if !ok {
+			break
+		}
+		cur = pred
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	// Tile the run interval: cursor sweeps start→finish; each chained
+	// attempt contributes a wait (if it started after the cursor) and a
+	// run segment clipped to the cursor (a consumer overlapping its
+	// producer charges the overlap to the producer's segment — that time
+	// was shuffle wait inside the consumer).
+	cursor := p.Start
+	for i, span := range chain {
+		if span.start.After(cursor) {
+			kind := "wait"
+			if i == 0 {
+				kind = "startup"
+			}
+			p.Segments = append(p.Segments, Segment{Kind: kind, Vertex: span.vertex, Task: span.task, Start: cursor, End: span.start})
+			cursor = span.start
+		}
+		if span.end.After(cursor) {
+			p.Segments = append(p.Segments, Segment{
+				Kind: "run", Vertex: span.vertex, Task: span.task, Attempt: span.id,
+				Node: span.node, Start: cursor, End: span.end,
+			})
+			cursor = span.end
+		}
+	}
+	if p.End.After(cursor) {
+		p.Segments = append(p.Segments, Segment{Kind: "finish", Start: cursor, End: p.End})
+	}
+	return p, nil
+}
+
+// VertexStats summarises attempt durations for one vertex.
+type VertexStats struct {
+	Vertex    string
+	Attempts  int
+	Succeeded int
+	P50       time.Duration
+	P90       time.Duration
+	Max       time.Duration
+}
+
+func (v VertexStats) String() string {
+	return fmt.Sprintf("%s: attempts=%d succeeded=%d p50=%v p90=%v max=%v",
+		v.Vertex, v.Attempts, v.Succeeded,
+		v.P50.Round(time.Microsecond), v.P90.Round(time.Microsecond), v.Max.Round(time.Microsecond))
+}
+
+// AttemptPercentiles computes per-vertex attempt-duration percentiles
+// over every terminal attempt of the given run (all runs when dag is "").
+func AttemptPercentiles(events []Event, dag string) []VertexStats {
+	durs := map[string][]time.Duration{}
+	succ := map[string]int{}
+	for _, e := range events {
+		if e.Type != AttemptFinished || (dag != "" && e.DAG != dag) {
+			continue
+		}
+		durs[e.Vertex] = append(durs[e.Vertex], e.Dur)
+		if e.Info == "SUCCEEDED" {
+			succ[e.Vertex]++
+		}
+	}
+	out := make([]VertexStats, 0, len(durs))
+	for v, ds := range durs {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(ds)-1))
+			return ds[i]
+		}
+		out = append(out, VertexStats{
+			Vertex: v, Attempts: len(ds), Succeeded: succ[v],
+			P50: pct(0.50), P90: pct(0.90), Max: ds[len(ds)-1],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Vertex < out[j].Vertex })
+	return out
+}
+
+// Lane is one container's utilisation swimlane: busy time over its
+// observed window, from the attempt spans that ran in it.
+type Lane struct {
+	Container int64
+	Node      string
+	Attempts  int
+	Busy      time.Duration
+	Window    time.Duration
+}
+
+// Utilisation is busy/window in [0,1] (0 for an empty window).
+func (l Lane) Utilisation() float64 {
+	if l.Window <= 0 {
+		return 0
+	}
+	u := float64(l.Busy) / float64(l.Window)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+func (l Lane) String() string {
+	return fmt.Sprintf("container-%d on %s: attempts=%d busy=%v window=%v util=%.0f%%",
+		l.Container, l.Node, l.Attempts, l.Busy.Round(time.Microsecond), l.Window.Round(time.Microsecond), 100*l.Utilisation())
+}
+
+// ContainerLanes reconstructs container swimlanes from attempt spans.
+func ContainerLanes(events []Event, dag string) []Lane {
+	type window struct {
+		node        string
+		first, last time.Time
+		busy        time.Duration
+		attempts    int
+	}
+	lanes := map[int64]*window{}
+	for _, e := range events {
+		if e.Type != AttemptFinished || e.Container == 0 || (dag != "" && e.DAG != dag) {
+			continue
+		}
+		w := lanes[e.Container]
+		if w == nil {
+			w = &window{node: e.Node, first: e.Start(), last: e.Wall}
+			lanes[e.Container] = w
+		}
+		if e.Start().Before(w.first) {
+			w.first = e.Start()
+		}
+		if e.Wall.After(w.last) {
+			w.last = e.Wall
+		}
+		w.busy += e.Dur
+		w.attempts++
+	}
+	out := make([]Lane, 0, len(lanes))
+	for id, w := range lanes {
+		out = append(out, Lane{Container: id, Node: w.node, Attempts: w.attempts, Busy: w.busy, Window: w.last.Sub(w.first)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Container < out[j].Container })
+	return out
+}
+
+// Canonical projects one run's journal onto its deterministic structural
+// skeleton: DAG submit/finish, declared edges, vertex init/start/success
+// (with parallelism), task scheduling, and recovery markers — sorted and
+// deduplicated so the projection is independent of goroutine
+// interleaving, attempt placement and retry counts. Two runs of the same
+// DAG under the same chaos seed produce identical Canonical sequences;
+// golden-file determinism tests pin exactly this.
+func Canonical(events []Event, dag string) []string {
+	var lines []string
+	for _, e := range events {
+		if dag != "" && e.DAG != dag {
+			continue
+		}
+		switch e.Type {
+		case DAGSubmitted:
+			lines = append(lines, fmt.Sprintf("DAG_SUBMITTED %s", e.Info))
+		case DAGRecovered:
+			lines = append(lines, fmt.Sprintf("DAG_RECOVERED %s", e.Info))
+		case DAGFinished:
+			lines = append(lines, fmt.Sprintf("DAG_FINISHED %s", e.Info))
+		case EdgeDeclared:
+			lines = append(lines, fmt.Sprintf("EDGE %s->%s", e.Vertex, e.Info))
+		case VertexInited:
+			lines = append(lines, fmt.Sprintf("VERTEX_INITED %s par=%d", e.Vertex, e.Val))
+		case VertexStarted:
+			lines = append(lines, fmt.Sprintf("VERTEX_STARTED %s", e.Vertex))
+		case VertexSucceeded:
+			lines = append(lines, fmt.Sprintf("VERTEX_SUCCEEDED %s", e.Vertex))
+		case VertexRecovered:
+			lines = append(lines, fmt.Sprintf("VERTEX_RECOVERED %s", e.Vertex))
+		case VertexReconfigured:
+			lines = append(lines, fmt.Sprintf("VERTEX_RECONFIGURED %s par=%d", e.Vertex, e.Val))
+		case TaskScheduled:
+			lines = append(lines, fmt.Sprintf("TASK_SCHEDULED %s t%03d", e.Vertex, e.Task))
+		}
+	}
+	sort.Strings(lines)
+	out := lines[:0]
+	for i, l := range lines {
+		if i == 0 || l != lines[i-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}

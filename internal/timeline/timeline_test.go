@@ -1,0 +1,272 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a Clock stepping 1ms per call from a fixed epoch.
+func fakeClock() Clock {
+	t := time.Unix(1000, 0)
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestJournalSequencesPerStream(t *testing.T) {
+	j := New(WithClock(fakeClock()))
+	j.Record(Event{Type: DAGSubmitted, DAG: "run-1"})
+	j.Record(Event{Type: NodeFailed, Node: "node-0"}) // "" stream
+	j.Record(Event{Type: VertexInited, DAG: "run-1", Vertex: "v"})
+	j.Record(Event{Type: DAGSubmitted, DAG: "run-2"})
+	j.Record(Event{Type: DAGFinished, DAG: "run-1"})
+
+	if j.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", j.Len())
+	}
+	r1 := j.DAGEvents("run-1")
+	if len(r1) != 3 {
+		t.Fatalf("run-1 events = %d, want 3", len(r1))
+	}
+	for i, e := range r1 {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("run-1 seq[%d] = %d, want contiguous from 1", i, e.Seq)
+		}
+		if e.Wall.IsZero() {
+			t.Fatalf("run-1 event %d has zero Wall", i)
+		}
+	}
+	if got := j.DAGEvents("run-2"); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("run-2 stream = %+v, want one event with seq 1", got)
+	}
+	if got := j.DAGEvents(""); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("session stream = %+v, want one event with seq 1", got)
+	}
+}
+
+func TestNilJournalIsSafe(t *testing.T) {
+	var j *Journal
+	j.Record(Event{Type: DAGSubmitted, DAG: "x"})
+	if j.Len() != 0 || j.Events() != nil || j.DAGEvents("x") != nil || j.Import(nil) != 0 {
+		t.Fatal("nil journal methods must all no-op")
+	}
+}
+
+func TestImportDedupesBySequence(t *testing.T) {
+	// Session 1 records four events, checkpoints after three.
+	j1 := New(WithClock(fakeClock()))
+	for _, ty := range []Type{DAGSubmitted, VertexInited, VertexSucceeded} {
+		j1.Record(Event{Type: ty, DAG: "run", Vertex: "v"})
+	}
+	cp := j1.DAGEvents("run")
+
+	// Same-journal recovery: every checkpointed event is already present.
+	if n := j1.Import(cp); n != 0 {
+		t.Fatalf("same-journal import brought in %d events, want 0", n)
+	}
+	if j1.Len() != 3 {
+		t.Fatalf("same-journal import duplicated events: Len = %d", j1.Len())
+	}
+
+	// Fresh-journal recovery: all imported, and new records continue the
+	// stream with no duplicate or gap sequence numbers.
+	j2 := New(WithClock(fakeClock()))
+	if n := j2.Import(cp); n != 3 {
+		t.Fatalf("fresh-journal import = %d, want 3", n)
+	}
+	j2.Record(Event{Type: DAGRecovered, DAG: "run"})
+	j2.Record(Event{Type: DAGFinished, DAG: "run"})
+	evs := j2.DAGEvents("run")
+	if len(evs) != 5 {
+		t.Fatalf("merged stream = %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("merged seq[%d] = %d, want contiguous 1..5", i, e.Seq)
+		}
+	}
+	// Importing the checkpoint a second time must still be a no-op.
+	if n := j2.Import(cp); n != 0 {
+		t.Fatalf("re-import brought in %d events", n)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	j := New(WithClock(fakeClock()))
+	j.Record(Event{Type: DAGSubmitted, DAG: "run", Info: "wc"})
+	j.Record(Event{Type: AttemptFinished, DAG: "run", Vertex: "v", Task: 2, Attempt: 1,
+		Node: "node-3", Container: 7, Info: "SUCCEEDED", Dur: 5 * time.Millisecond, Val: 42})
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, j.Events()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := j.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip = %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		// Compare through JSON so time.Time monotonic-clock detail is
+		// normalised the same way the wire format does.
+		a, _ := json.Marshal(want[i])
+		b, _ := json.Marshal(got[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("event %d mismatch:\n  wrote %s\n  read  %s", i, a, b)
+		}
+	}
+}
+
+func TestCanonicalProjection(t *testing.T) {
+	j := New(WithClock(fakeClock()))
+	j.Record(Event{Type: DAGSubmitted, DAG: "run", Info: "wc"})
+	j.Record(Event{Type: EdgeDeclared, DAG: "run", Vertex: "map", Info: "red"})
+	j.Record(Event{Type: VertexInited, DAG: "run", Vertex: "map", Val: 2})
+	j.Record(Event{Type: TaskScheduled, DAG: "run", Vertex: "map", Task: 1})
+	j.Record(Event{Type: TaskScheduled, DAG: "run", Vertex: "map", Task: 0})
+	// Non-structural noise that must not appear.
+	j.Record(Event{Type: AttemptStarted, DAG: "run", Vertex: "map", Node: "node-1"})
+	j.Record(Event{Type: ShuffleFetch, DAG: "run", Vertex: "map"})
+	j.Record(Event{Type: DAGFinished, DAG: "run", Info: "SUCCEEDED"})
+	// A second run that must be filtered out.
+	j.Record(Event{Type: DAGSubmitted, DAG: "other", Info: "x"})
+
+	want := []string{
+		"DAG_FINISHED SUCCEEDED",
+		"DAG_SUBMITTED wc",
+		"EDGE map->red",
+		"TASK_SCHEDULED map t000",
+		"TASK_SCHEDULED map t001",
+		"VERTEX_INITED map par=2",
+	}
+	if got := Canonical(j.Events(), "run"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Canonical = %q, want %q", got, want)
+	}
+}
+
+// synthetic run: submit at t0; map runs [1ms,3ms]; reduce runs [4ms,6ms]
+// (1ms scheduling wait); finish at 6.5ms.
+func syntheticRun(t0 time.Time) []Event {
+	at := func(d time.Duration) time.Time { return t0.Add(d) }
+	return []Event{
+		{Seq: 1, Type: DAGSubmitted, DAG: "run", Info: "wc", Wall: t0},
+		{Seq: 2, Type: EdgeDeclared, DAG: "run", Vertex: "map", Info: "red", Wall: t0},
+		{Seq: 3, Type: AttemptFinished, DAG: "run", Vertex: "map", Task: 0, Attempt: 0,
+			Node: "node-0", Container: 1, Info: "SUCCEEDED", Dur: 2 * time.Millisecond, Wall: at(3 * time.Millisecond)},
+		{Seq: 4, Type: AttemptFinished, DAG: "run", Vertex: "red", Task: 0, Attempt: 0,
+			Node: "node-1", Container: 2, Info: "SUCCEEDED", Dur: 2 * time.Millisecond, Wall: at(6 * time.Millisecond)},
+		{Seq: 5, Type: DAGFinished, DAG: "run", Info: "SUCCEEDED",
+			Dur: 6500 * time.Microsecond, Wall: at(6500 * time.Microsecond)},
+	}
+}
+
+func TestCriticalPathTiling(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	events := syntheticRun(t0)
+	p, err := CriticalPath(events, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DAG != "run" {
+		t.Fatalf("DAG = %q", p.DAG)
+	}
+	if p.Wall() != 6500*time.Microsecond {
+		t.Fatalf("Wall = %v", p.Wall())
+	}
+	if p.Total() != p.Wall() {
+		t.Fatalf("Total %v != Wall %v — segments must tile the run", p.Total(), p.Wall())
+	}
+	kinds := make([]string, len(p.Segments))
+	for i, s := range p.Segments {
+		kinds[i] = s.Kind
+	}
+	want := []string{"startup", "run", "wait", "run", "finish"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("segment kinds = %v, want %v\n%s", kinds, want, p)
+	}
+	if r := p.Segments[1]; r.Vertex != "map" || r.Duration() != 2*time.Millisecond {
+		t.Fatalf("map run segment = %+v", r)
+	}
+	if w := p.Segments[2]; w.Vertex != "red" || w.Duration() != time.Millisecond {
+		t.Fatalf("wait segment = %+v", w)
+	}
+}
+
+func TestCriticalPathErrors(t *testing.T) {
+	if _, err := CriticalPath(nil, ""); err == nil {
+		t.Fatal("empty journal must error")
+	}
+	t0 := time.Unix(2000, 0)
+	unfinished := syntheticRun(t0)[:4] // no DAG_FINISHED
+	if _, err := CriticalPath(unfinished, "run"); err == nil {
+		t.Fatal("run without DAG_FINISHED must error")
+	}
+}
+
+func TestAttemptPercentilesAndLanes(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	events := syntheticRun(t0)
+	stats := AttemptPercentiles(events, "run")
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Vertex != "map" || stats[0].Succeeded != 1 || stats[0].P50 != 2*time.Millisecond {
+		t.Fatalf("map stats = %+v", stats[0])
+	}
+	lanes := ContainerLanes(events, "run")
+	if len(lanes) != 2 {
+		t.Fatalf("lanes = %+v", lanes)
+	}
+	if lanes[0].Container != 1 || lanes[0].Attempts != 1 || lanes[0].Busy != 2*time.Millisecond {
+		t.Fatalf("lane 1 = %+v", lanes[0])
+	}
+}
+
+func TestChromeTraceSynthetic(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	buf, err := ChromeTrace(syntheticRun(t0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	spans := 0
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "" {
+			t.Fatalf("event %+v missing ph", e)
+		}
+		if e.Ph == "X" {
+			spans++
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Fatalf("bad span %+v", e)
+			}
+		}
+	}
+	if spans != 2 {
+		t.Fatalf("spans = %d, want the two attempt spans", spans)
+	}
+}
