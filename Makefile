@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench chaos trace
+.PHONY: build vet lint test race check bench chaos trace
 
 build:
 	$(GO) build ./...
@@ -8,14 +8,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint: go vet, the control-plane invariant (every lifecycle state change
+# in internal/am must flow through the internal/fsm transition tables —
+# no raw `.state = ...` assignments), and staticcheck when installed
+# (skipped gracefully where it is not; CI does not install it).
+lint: vet
+	@if grep -rnE '\.state[[:space:]]*=[^=]' internal/am --include='*.go'; then \
+		echo 'lint: raw lifecycle state assignment in internal/am (use the fsm tables)'; exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo 'lint: staticcheck not installed, skipping'; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the tier-1 gate plus the race detector; CI runs exactly this.
-check: build vet race
+# check is the tier-1 gate plus lint and the race detector; CI runs
+# exactly this.
+check: build lint race
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .

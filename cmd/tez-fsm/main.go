@@ -1,0 +1,51 @@
+// tez-fsm dumps the AM's declared control-plane transition tables — the
+// DAG, vertex, task and attempt lifecycles of §3.3 — as Mermaid
+// stateDiagram-v2 blocks or Graphviz DOT digraphs. The diagrams in
+// DESIGN.md §8 are generated with it.
+//
+//	go run ./cmd/tez-fsm                          # all machines, Mermaid
+//	go run ./cmd/tez-fsm -format dot              # Graphviz
+//	go run ./cmd/tez-fsm -machine attempt         # one machine
+//	go run ./cmd/tez-fsm -format mermaid -fence   # fenced ```mermaid blocks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tez/internal/am"
+)
+
+func main() {
+	format := flag.String("format", "mermaid", "output format: mermaid | dot")
+	machine := flag.String("machine", "all", "machine to dump: dag | vertex | task | attempt | all")
+	fence := flag.Bool("fence", false, "wrap Mermaid output in ```mermaid fences (markdown embedding)")
+	flag.Parse()
+
+	tables, err := am.LifecycleTables(*format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printed := 0
+	for _, tb := range tables {
+		if *machine != "all" && *machine != tb.Machine {
+			continue
+		}
+		if printed > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("## %s lifecycle\n\n", tb.Machine)
+		if *fence && *format == "mermaid" {
+			fmt.Printf("```mermaid\n%s```\n", tb.Text)
+		} else {
+			fmt.Print(tb.Text)
+		}
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(os.Stderr, "tez-fsm: unknown machine %q (want dag, vertex, task, attempt or all)\n", *machine)
+		os.Exit(2)
+	}
+}

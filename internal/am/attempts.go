@@ -3,22 +3,21 @@ package am
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"tez/internal/chaos"
 	"tez/internal/cluster"
 	"tez/internal/dag"
 	"tez/internal/event"
 	"tez/internal/mailbox"
-	"tez/internal/metrics"
 	"tez/internal/runtime"
 	"tez/internal/timeline"
 )
 
 // scheduleTasks is the vertex-manager entry point: move the given pending
-// tasks to scheduled and create their first attempts.
+// tasks to scheduled and create their first attempts. Idempotent —
+// already-scheduled ids are expected repeats, not transition attempts.
 func (r *dagRun) scheduleTasks(vs *vertexState, ids []int) {
-	if r.finished || vs.state != vRunning {
+	if r.isFinished() || !vs.lc.In(vRunning) {
 		return
 	}
 	for _, id := range ids {
@@ -26,26 +25,17 @@ func (r *dagRun) scheduleTasks(vs *vertexState, ids []int) {
 			continue
 		}
 		ts := vs.tasks[id]
-		if ts.state != tPending {
+		if !ts.lc.In(tPending) {
 			continue
 		}
-		ts.state = tScheduled
-		r.tl().Record(timeline.Event{
-			Type: timeline.TaskScheduled, DAG: r.id,
-			Vertex: vs.v.Name, Task: id,
-		})
+		ts.lc.Fire(tEvSchedule)
 		r.newAttempt(ts, false)
 	}
 }
 
 // newAttempt creates an attempt and asks the scheduler for a container.
 func (r *dagRun) newAttempt(ts *taskState, speculative bool) *attemptState {
-	at := &attemptState{
-		task:        ts,
-		id:          len(ts.attempts),
-		state:       aWaiting,
-		speculative: speculative,
-	}
+	at := newAttemptState(r, ts, speculative)
 	ts.attempts = append(ts.attempts, at)
 	req := &taskRequest{
 		priority: ts.vertex.priority,
@@ -105,23 +95,21 @@ func (r *dagRun) taskHosts(ts *taskState) []cluster.NodeID {
 
 // onAssigned launches the attempt in its container.
 func (r *dagRun) onAssigned(at *attemptState, pc *pooledContainer) {
-	if r.finished || at.state != aWaiting || at.task.state == tSucceeded {
+	if r.isFinished() || !at.lc.In(aWaiting) || at.task.lc.In(tSucceeded) {
 		// Stale assignment: the container is healthy; recycle it.
-		if at.state == aWaiting {
-			at.state = aKilled
+		if at.lc.In(aWaiting) {
+			at.lc.Fire(aEvKill)
 		}
 		r.session.sched.release(pc, true)
 		return
 	}
-	at.state = aRunning
+	// Populate the attempt before firing: the ATTEMPT_STARTED observer
+	// reads node, container, locality and allocWait.
 	at.pc = pc
 	at.node = string(pc.c.Node())
 	at.locality = pc.c.Locality
-	at.start = time.Now()
+	at.start = r.clock()
 	at.mbox = mailbox.New[event.Event]()
-	if at.task.state == tScheduled {
-		at.task.state = tRunning
-	}
 	loc := pc.c.Locality.String()
 	r.counters.Add("LOCALITY_"+loc, 1)
 	// Close the request→allocate→launch span: how long this attempt waited
@@ -130,13 +118,13 @@ func (r *dagRun) onAssigned(at *attemptState, pc *pooledContainer) {
 	if wait < 0 {
 		wait = 0
 	}
+	at.allocWait = wait
 	r.counters.Add("SCHED_ALLOC_WAIT_NS_"+loc, int64(wait))
 	r.counters.Add("SCHED_ALLOC_WAIT_COUNT_"+loc, 1)
-	r.tl().Record(timeline.Event{
-		Type: timeline.AttemptStarted, DAG: r.id,
-		Vertex: at.task.vertex.v.Name, Task: at.task.idx, Attempt: at.id,
-		Node: at.node, Container: int64(pc.c.ID), Info: loc, Val: int64(wait),
-	})
+	at.lc.Fire(aEvAssigned)
+	// tScheduled → tRunning on the first launch; a self-loop for a
+	// speculative twin joining an already-running task.
+	at.task.lc.Fire(tEvLaunched)
 
 	spec := r.buildTaskSpec(at)
 	fetchPar := r.session.cfg.ShuffleFetchParallelism
@@ -252,7 +240,10 @@ func (r *dagRun) replayEvents(at *attemptState) {
 	}
 }
 
-// onAttemptDone handles attempt termination.
+// onAttemptDone handles attempt termination: the A_DONE multi-arc
+// transition classifies the outcome (classifyAttemptDone), the attempt
+// observer closes the span, and only the post-classification consequences
+// — counters, re-execution, MaxTaskAttempts — live here.
 func (r *dagRun) onAttemptDone(at *attemptState, err error) {
 	ts := at.task
 	vs := ts.vertex
@@ -262,60 +253,55 @@ func (r *dagRun) onAttemptDone(at *attemptState, err error) {
 	// reused for the next waiting task.
 	containerKilled := errors.Is(err, cluster.ErrContainerKilled)
 	if pc != nil && !containerKilled {
-		r.session.sched.release(pc, !r.finished)
+		r.session.sched.release(pc, !r.isFinished())
 	} else if pc != nil {
 		r.session.sched.onContainerStopped(pc.c.ID)
 	}
 	if at.mbox != nil {
 		at.mbox.Close()
 	}
-	if r.finished || at.state != aRunning {
-		return
+	if r.isFinished() || !at.lc.In(aRunning) {
+		return // zombie: already killed (teardown, speculation, preemption)
 	}
 
-	if err == nil {
+	d := &attemptDone{
+		failed:          err != nil,
+		containerKilled: containerKilled,
+		lostRace:        ts.lc.In(tSucceeded),
+	}
+	if err != nil {
+		_, d.inputError = runtime.AsInputReadError(err)
+		// A genuine error from a node already known dead raced the
+		// node-failure notification in the mailbox: the machine's death,
+		// not the task's fault.
+		d.nodeDead = at.node != "" && r.deadNodes[at.node]
+	}
+	at.lc.FireWith(aEvDone, d)
+
+	switch at.lc.State() {
+	case aSucceeded:
 		r.attemptSucceeded(at)
 		return
-	}
-
-	outcome := "FAILED"
-	switch {
-	case containerKilled:
-		at.state = aKilled
-		outcome = "KILLED"
-		r.counters.Add("ATTEMPTS_KILLED", 1)
-	default:
-		if _, isInput := runtime.AsInputReadError(err); isInput {
-			// The producer is being re-executed (the InputReadError event
-			// preceded this message); this attempt is a casualty, not a
-			// failure.
-			at.state = aKilled
-			outcome = "KILLED"
-			r.counters.Add("ATTEMPTS_KILLED_INPUT_ERROR", 1)
-		} else if at.node != "" && r.deadNodes[at.node] {
-			// The attempt's node is already known dead: its error message
-			// raced the node-failure notification in the mailbox. Treat it
-			// like a container kill — the machine's death, not the task's
-			// fault, and no MaxTaskAttempts or node-health charge.
-			at.state = aKilled
-			outcome = "KILLED"
-			r.counters.Add("ATTEMPTS_KILLED_NODE_LOST", 1)
-		} else {
-			at.state = aFailed
-			ts.failures++
-			r.counters.Add("ATTEMPTS_FAILED", 1)
-			if r.session.health.taskFailed(at.node) {
-				r.counters.Add("NODES_BLACKLISTED", 1)
-			}
+	case aKilled:
+		// A casualty — container kill, input-error cascade, node loss —
+		// never counts toward MaxTaskAttempts or node health. A lost
+		// speculative race charges nothing at all.
+		if d.cause != "" {
+			r.counters.Add(d.cause, 1)
+		}
+	case aFailed:
+		ts.failures++
+		r.counters.Add("ATTEMPTS_FAILED", 1)
+		if r.session.health.taskFailed(at.node) {
+			r.counters.Add("NODES_BLACKLISTED", 1)
 		}
 	}
-	r.recordAttempt(at, outcome)
-	if ts.state == tSucceeded {
+	if ts.lc.In(tSucceeded) {
 		return // a speculative twin already won
 	}
 	if ts.failures >= r.cfg.MaxTaskAttempts {
-		ts.state = tFailed
-		vs.state = vFailed
+		ts.lc.Fire(tEvExhausted)
+		vs.lc.Fire(vEvTaskFailed)
 		r.fail(DAGFailed, fmt.Errorf("am: task %s/%d failed %d attempts, last: %w",
 			vs.v.Name, ts.idx, ts.failures, err))
 		return
@@ -325,37 +311,33 @@ func (r *dagRun) onAttemptDone(at *attemptState, err error) {
 	}
 }
 
-// attemptSucceeded commits an attempt's success into the task and vertex.
+// attemptSucceeded commits a winning attempt's success into the task and
+// vertex (the lost-race case was already classified aKilled by the A_DONE
+// selector and never reaches here).
 func (r *dagRun) attemptSucceeded(at *attemptState) {
 	ts := at.task
 	vs := ts.vertex
-	if ts.state == tSucceeded {
-		// Lost the speculative race.
-		at.state = aKilled
-		r.recordAttempt(at, "KILLED")
-		return
-	}
-	at.state = aSucceeded
-	ts.state = tSucceeded
+	ts.lc.Fire(tEvSucceeded)
 	ts.winner = at
 	vs.completed++
-	vs.durations = append(vs.durations, time.Since(at.start))
+	vs.durations = append(vs.durations, r.clock().Sub(at.start))
 	r.counters.Add("TASKS_SUCCEEDED", 1)
-	r.recordAttempt(at, "SUCCEEDED")
 
-	// Kill the losing twins.
+	// Kill the losing twins. A still-running loser's span is closed KILLED
+	// by its observer; a waiting loser never started, so only its request
+	// is withdrawn.
 	for _, other := range ts.attempts {
 		if other == at {
 			continue
 		}
-		switch other.state {
-		case aWaiting:
-			other.state = aKilled
+		switch {
+		case other.lc.In(aWaiting):
+			other.lc.Fire(aEvKill)
 			if other.req != nil {
 				r.session.sched.cancel(other.req)
 			}
-		case aRunning:
-			other.state = aKilled
+		case other.lc.In(aRunning):
+			other.lc.Fire(aEvKill)
 			if other.pc != nil {
 				r.session.sched.discard(other.pc)
 			}
@@ -373,45 +355,17 @@ func (r *dagRun) attemptSucceeded(at *attemptState) {
 	}
 }
 
-func (r *dagRun) recordAttempt(at *attemptState, outcome string) {
-	end := time.Now()
-	r.trace.Record(metrics.AttemptRecord{
-		Vertex:      at.task.vertex.v.Name,
-		Task:        at.task.idx,
-		Attempt:     at.id,
-		Node:        at.node,
-		Locality:    at.locality.String(),
-		Speculative: at.speculative,
-		Start:       at.start,
-		End:         end,
-		Outcome:     outcome,
-	})
-	var cid int64
-	if at.pc != nil {
-		cid = int64(at.pc.c.ID)
-	}
-	var dur time.Duration
-	if !at.start.IsZero() {
-		dur = end.Sub(at.start)
-	}
-	r.tl().Record(timeline.Event{
-		Type: timeline.AttemptFinished, DAG: r.id,
-		Vertex: at.task.vertex.v.Name, Task: at.task.idx, Attempt: at.id,
-		Node: at.node, Container: cid, Info: outcome, Dur: dur,
-	})
-}
-
 // vertexSucceeded finalises a vertex: launch sink committers, checkpoint,
 // and maybe finish the DAG.
 func (r *dagRun) vertexSucceeded(vs *vertexState) {
-	if vs.state == vSucceeded {
+	if vs.lc.In(vSucceeded) {
 		return
 	}
-	vs.state = vSucceeded
+	// The observer journals VERTEX_SUCCEEDED here — before saveCheckpoint,
+	// so the checkpointed journal stream includes this vertex's completion
+	// (AM-crash recovery coherence).
+	vs.lc.Fire(vEvCompleted)
 	r.counters.Add("VERTICES_SUCCEEDED", 1)
-	// Recorded before saveCheckpoint so the checkpointed journal stream
-	// includes this vertex's completion (AM-crash recovery coherence).
-	r.tl().Record(timeline.Event{Type: timeline.VertexSucceeded, DAG: r.id, Vertex: vs.v.Name})
 	r.session.sched.sweepVertexRegistries(r.id, vs.v.Name)
 	if len(vs.v.Sinks) > 0 && !vs.committed {
 		vs.committed = true

@@ -1,6 +1,7 @@
 // Package am implements the Tez orchestration framework: the YARN
 // Application Master of §4 that executes DAGs on the cluster. It contains
-// the DAG/vertex/task/attempt state machines, the task scheduler with
+// the DAG/vertex/task/attempt state machines (declarative transition
+// tables on internal/fsm; see lifecycle.go), the task scheduler with
 // container reuse and sessions (§4.2), VertexManagers and
 // DataSourceInitializers for runtime DAG evolution (§3.4–3.5), locality-
 // aware scheduling with delay scheduling, speculative execution, fault

@@ -7,6 +7,7 @@ import (
 	"tez/internal/cluster"
 	"tez/internal/dag"
 	"tez/internal/event"
+	"tez/internal/fsm"
 	"tez/internal/mailbox"
 	"tez/internal/metrics"
 	"tez/internal/runtime"
@@ -47,42 +48,14 @@ type DAGResult struct {
 	Trace    *metrics.Trace
 }
 
-// Vertex / task / attempt state machines.
-
-type vState int
-
-const (
-	vNew vState = iota
-	vIniting
-	vInited
-	vRunning
-	vSucceeded
-	vFailed
-)
-
-type tState int
-
-const (
-	tPending tState = iota
-	tScheduled
-	tRunning
-	tSucceeded
-	tFailed
-)
-
-type aState int
-
-const (
-	aWaiting aState = iota // waiting for a container
-	aRunning
-	aSucceeded
-	aFailed
-	aKilled
-)
+// Vertex / task / attempt entities. Their lifecycle state lives in fsm
+// machines (lc) driven through the transition tables of lifecycle.go —
+// never in raw fields — so every state change flows through one declared
+// table with a single journaling observer.
 
 type vertexState struct {
 	v           *dag.Vertex
-	state       vState
+	lc          *fsm.Machine[*vertexState, vState, vEvent]
 	parallelism int
 	priority    int // topological depth; lower runs first
 	tasks       []*taskState
@@ -104,10 +77,27 @@ type vertexState struct {
 	commitComplete bool
 }
 
+// newVertexState builds a vertex entity with its lifecycle machine wired
+// to the run's journaling observer.
+func newVertexState(r *dagRun, v *dag.Vertex, depth int) *vertexState {
+	vs := &vertexState{
+		v:            v,
+		parallelism:  v.Parallelism,
+		priority:     depth,
+		initEvents:   make(map[string]*mailbox.Mailbox[event.InputInitializerEvent]),
+		rootPayloads: make(map[string][][]byte),
+	}
+	if len(v.LocationHints) > 0 {
+		vs.locationHints = v.LocationHints
+	}
+	vs.lc = newVertexMachine(r, vs)
+	return vs
+}
+
 type taskState struct {
 	vertex   *vertexState
 	idx      int
-	state    tState
+	lc       *fsm.Machine[*taskState, tState, tEvent]
 	attempts []*attemptState
 	winner   *attemptState // the succeeded attempt
 	failures int
@@ -118,11 +108,18 @@ type taskState struct {
 	restoredNode    string
 }
 
+// newTaskState builds a task entity with its lifecycle machine.
+func newTaskState(r *dagRun, vs *vertexState, idx int) *taskState {
+	ts := &taskState{vertex: vs, idx: idx}
+	ts.lc = newTaskMachine(r, ts)
+	return ts
+}
+
 // runningAttempts counts attempts not yet terminal.
 func (t *taskState) runningAttempts() int {
 	n := 0
 	for _, a := range t.attempts {
-		if a.state == aWaiting || a.state == aRunning {
+		if !a.lc.Terminal() {
 			n++
 		}
 	}
@@ -132,7 +129,7 @@ func (t *taskState) runningAttempts() int {
 type attemptState struct {
 	task        *taskState
 	id          int
-	state       aState
+	lc          *fsm.Machine[*attemptState, aState, aEvent]
 	speculative bool
 	req         *taskRequest
 	pc          *pooledContainer
@@ -140,6 +137,17 @@ type attemptState struct {
 	locality    cluster.Locality
 	mbox        *mailbox.Mailbox[event.Event]
 	start       time.Time
+	// allocWait is the request→launch span closed at assignment: how long
+	// the attempt waited for its container (AttemptStarted's Val).
+	allocWait time.Duration
+}
+
+// newAttemptState builds an attempt entity with its lifecycle machine.
+// The caller appends it to ts.attempts; the id is its slot.
+func newAttemptState(r *dagRun, ts *taskState, speculative bool) *attemptState {
+	at := &attemptState{task: ts, id: len(ts.attempts), speculative: speculative}
+	at.lc = newAttemptMachine(r, at)
+	return at
 }
 
 type edgeState struct {
@@ -218,12 +226,18 @@ type dagRun struct {
 	// not count toward MaxTaskAttempts or node health.
 	deadNodes map[string]bool
 
+	// lc is the run-level machine: DAGRunning until dEvSucceed / dEvFail /
+	// dEvKill moves it to its terminal status. The old `finished bool` is
+	// exactly lc.Terminal().
+	lc             *fsm.Machine[*dagRun, DAGStatus, dEvent]
 	started        time.Time
-	finished       bool
 	result         DAGResult
 	done           chan struct{}
 	pendingCommits int
 	tickerStop     chan struct{}
+	// backlogMax is the dispatcher-mailbox depth high-water mark, sampled
+	// on ticks (AM_MAILBOX_BACKLOG_MAX gauge + AM_BACKLOG journal events).
+	backlogMax int64
 
 	// recovered checkpoint to apply at start (nil for fresh runs).
 	recovered *checkpoint
@@ -234,14 +248,18 @@ type dagRun struct {
 func (r *dagRun) tl() *timeline.Journal { return r.cfg.Timeline }
 
 // clock reads the session clock (Config.Clock, defaulted to time.Now).
-// Scheduler wait spans are measured against it so fake-clock tests see
-// coherent durations.
+// Every AM timestamp — attempt spans, scheduler waits, speculation math,
+// run duration — is measured against it so fake-clock tests see coherent
+// durations.
 func (r *dagRun) clock() time.Time {
 	if r.cfg.Clock != nil {
 		return r.cfg.Clock()
 	}
 	return time.Now()
 }
+
+// isFinished reports whether the run reached a terminal status.
+func (r *dagRun) isFinished() bool { return r.lc.Terminal() }
 
 func newDAGRun(s *Session, d *dag.DAG, id string) (*dagRun, error) {
 	if err := d.Validate(); err != nil {
@@ -252,32 +270,22 @@ func newDAGRun(s *Session, d *dag.DAG, id string) (*dagRun, error) {
 		return nil, err
 	}
 	r := &dagRun{
-		session:  s,
-		cfg:      s.cfg,
-		d:        d,
-		id:       id,
-		mb:       mailbox.New[amMsg](),
-		vertices: make(map[string]*vertexState),
-		inEdges:  make(map[string][]*edgeState),
-		outEdges: make(map[string][]*edgeState),
+		session:   s,
+		cfg:       s.cfg,
+		d:         d,
+		id:        id,
+		mb:        mailbox.New[amMsg](),
+		vertices:  make(map[string]*vertexState),
+		inEdges:   make(map[string][]*edgeState),
+		outEdges:  make(map[string][]*edgeState),
 		counters:  metrics.NewCounters(),
 		trace:     metrics.NewTrace(),
 		deadNodes: make(map[string]bool),
 		done:      make(chan struct{}),
 	}
+	r.lc = newDAGMachine(r)
 	for depth, name := range topo {
-		v := d.Vertex(name)
-		vs := &vertexState{
-			v:            v,
-			parallelism:  v.Parallelism,
-			priority:     depth,
-			initEvents:   make(map[string]*mailbox.Mailbox[event.InputInitializerEvent]),
-			rootPayloads: make(map[string][][]byte),
-		}
-		if len(v.LocationHints) > 0 {
-			vs.locationHints = v.LocationHints
-		}
-		r.vertices[name] = vs
+		r.vertices[name] = newVertexState(r, d.Vertex(name), depth)
 	}
 	r.topo = topo
 	for _, e := range d.Edges {
@@ -296,7 +304,7 @@ func newDAGRun(s *Session, d *dag.DAG, id string) (*dagRun, error) {
 
 // start launches the dispatcher and background ticker.
 func (r *dagRun) start() {
-	r.started = time.Now()
+	r.started = r.clock()
 	if a := r.session.plat.Authority; a != nil {
 		r.token = a.Issue(r.id)
 	}
@@ -322,7 +330,7 @@ func (r *dagRun) start() {
 
 func (r *dagRun) loop() {
 	r.bootstrap()
-	for !r.finished {
+	for !r.isFinished() {
 		m, ok := r.mb.Get()
 		if !ok {
 			return
@@ -332,7 +340,9 @@ func (r *dagRun) loop() {
 	// Terminal: stop background work and release everything still held.
 	close(r.tickerStop)
 	r.teardown()
-	r.result.Duration = time.Since(r.started)
+	// DAGFinished is the one lifecycle event not emitted by a transition
+	// observer: it is a span closer needing the post-teardown duration.
+	r.result.Duration = r.clock().Sub(r.started)
 	r.result.Counters = r.counters
 	r.result.Trace = r.trace
 	r.tl().Record(timeline.Event{
@@ -383,11 +393,11 @@ func (r *dagRun) bootstrap() {
 	}
 	for _, name := range r.topo {
 		vs := r.vertices[name]
-		if vs.state != vNew {
+		if !vs.lc.In(vNew) {
 			continue
 		}
 		if n := len(initializers(vs.v)); n > 0 && !r.vertexRestored(vs) {
-			vs.state = vIniting
+			vs.lc.Fire(vEvInitStart)
 			vs.initsOutstanding = n
 			r.runInitializers(vs)
 			continue
@@ -399,7 +409,7 @@ func (r *dagRun) bootstrap() {
 
 // vertexRestored reports whether a checkpoint fully restored this vertex.
 func (r *dagRun) vertexRestored(vs *vertexState) bool {
-	return vs.state == vSucceeded
+	return vs.lc.In(vSucceeded)
 }
 
 func initializers(v *dag.Vertex) []dag.DataSource {
@@ -473,7 +483,7 @@ type msgParQuery struct {
 
 // onInitDone integrates an initializer's result.
 func (r *dagRun) onInitDone(vs *vertexState, source string, res *runtime.InitializerResult, err error) {
-	if r.finished || vs.state != vIniting {
+	if r.isFinished() || !vs.lc.In(vIniting) {
 		return
 	}
 	if err != nil {
@@ -504,14 +514,14 @@ func (r *dagRun) onInitDone(vs *vertexState, source string, res *runtime.Initial
 // tryInitVertex moves a vertex to vInited once its parallelism is known,
 // creating its task states.
 func (r *dagRun) tryInitVertex(vs *vertexState) {
-	if vs.state == vInited || vs.state == vRunning || vs.state == vSucceeded {
+	if !vs.lc.In(vNew, vIniting) {
 		return
 	}
 	if vs.parallelism < 0 {
 		// A 1-1 edge propagates parallelism from an inited source.
 		for _, es := range r.inEdges[vs.v.Name] {
 			if es.e.Property.Movement == dag.OneToOne && es.from.parallelism > 0 &&
-				(es.from.state == vInited || es.from.state == vRunning || es.from.state == vSucceeded) {
+				es.from.lc.In(vInited, vRunning, vSucceeded) {
 				vs.parallelism = es.from.parallelism
 				break
 			}
@@ -520,15 +530,13 @@ func (r *dagRun) tryInitVertex(vs *vertexState) {
 	if vs.parallelism < 0 {
 		return // not decidable yet
 	}
-	vs.state = vInited
+	// Tasks exist before the transition: the VertexInited observer reads
+	// the decided parallelism.
 	vs.tasks = make([]*taskState, vs.parallelism)
 	for i := range vs.tasks {
-		vs.tasks[i] = &taskState{vertex: vs, idx: i}
+		vs.tasks[i] = newTaskState(r, vs, i)
 	}
-	r.tl().Record(timeline.Event{
-		Type: timeline.VertexInited, DAG: r.id,
-		Vertex: vs.v.Name, Val: int64(vs.parallelism),
-	})
+	vs.lc.Fire(vEvInited)
 	// Answer any blocked initializer queries for this vertex.
 	for _, w := range vs.parWaiters {
 		w <- vs.parallelism
@@ -539,7 +547,7 @@ func (r *dagRun) tryInitVertex(vs *vertexState) {
 // advance drives global progress: propagate parallelism, build edge
 // managers, and start vertices whose in/out geometry is complete.
 func (r *dagRun) advance() {
-	if r.finished {
+	if r.isFinished() {
 		return
 	}
 	// Repeated passes: 1-1 propagation can cascade.
@@ -547,10 +555,10 @@ func (r *dagRun) advance() {
 		changed = false
 		for _, name := range r.topo {
 			vs := r.vertices[name]
-			if vs.state == vNew || (vs.state == vIniting && vs.initsOutstanding == 0) {
-				before := vs.state
+			if vs.lc.In(vNew) || (vs.lc.In(vIniting) && vs.initsOutstanding == 0) {
+				before := vs.lc.State()
 				r.tryInitVertex(vs)
-				if vs.state != before {
+				if vs.lc.State() != before {
 					changed = true
 				}
 			}
@@ -571,14 +579,14 @@ func (r *dagRun) advance() {
 	// Start vertices: inited, with every edge manager in place.
 	for _, name := range r.topo {
 		vs := r.vertices[name]
-		if vs.state != vInited {
+		if !vs.lc.In(vInited) {
 			continue
 		}
 		if !r.edgesReady(vs) {
 			continue
 		}
 		r.startVertex(vs)
-		if r.finished {
+		if r.isFinished() {
 			return
 		}
 	}
@@ -586,11 +594,7 @@ func (r *dagRun) advance() {
 }
 
 func vertexReady(vs *vertexState) bool {
-	switch vs.state {
-	case vInited, vRunning, vSucceeded:
-		return vs.parallelism > 0
-	}
-	return false
+	return vs.lc.In(vInited, vRunning, vSucceeded) && vs.parallelism > 0
 }
 
 // edgesReady gates vertex start. Every in-edge needs its routing table;
@@ -639,13 +643,12 @@ func (r *dagRun) buildEdgeManager(es *edgeState, destPar int) error {
 // startVertex transitions to vRunning and hands control to the vertex
 // manager.
 func (r *dagRun) startVertex(vs *vertexState) {
-	vs.state = vRunning
+	vs.lc.Fire(vEvStart)
 	if vs.completed == vs.parallelism {
 		// Fully restored from checkpoint.
 		r.vertexSucceeded(vs)
 		return
 	}
-	r.tl().Record(timeline.Event{Type: timeline.VertexStarted, DAG: r.id, Vertex: vs.v.Name})
 	mgr, err := newVertexManager(vs.v.Manager)
 	if err != nil {
 		r.fail(DAGFailed, err)
@@ -667,27 +670,31 @@ func (r *dagRun) startVertex(vs *vertexState) {
 	vs.pendingVM = nil
 }
 
-// fail terminates the DAG.
+// fail terminates the DAG with the given terminal status.
 func (r *dagRun) fail(status DAGStatus, err error) {
-	if r.finished {
+	if r.isFinished() {
 		return
 	}
-	r.finished = true
-	r.result = DAGResult{Status: status, Err: err}
+	ev := dEvFail
+	if status == DAGKilled {
+		ev = dEvKill
+	}
+	r.lc.Fire(ev)
+	r.result = DAGResult{Status: r.lc.State(), Err: err}
 }
 
 // maybeFinish completes the DAG when every vertex succeeded and all sink
 // commits are done.
 func (r *dagRun) maybeFinish() {
-	if r.finished || r.pendingCommits > 0 {
+	if r.isFinished() || r.pendingCommits > 0 {
 		return
 	}
 	for _, vs := range r.vertices {
-		if vs.state != vSucceeded {
+		if !vs.lc.In(vSucceeded) {
 			return
 		}
 	}
-	r.finished = true
+	r.lc.Fire(dEvSucceed)
 	r.result = DAGResult{Status: DAGSucceeded}
 	// Intermediate data is no longer needed.
 	r.session.plat.Shuffle.DeleteDAG(r.id)
@@ -700,14 +707,16 @@ func (r *dagRun) teardown() {
 	for _, vs := range r.vertices {
 		for _, ts := range vs.tasks {
 			for _, at := range ts.attempts {
-				switch at.state {
-				case aWaiting:
-					at.state = aKilled
+				switch {
+				case at.lc.In(aWaiting):
+					at.lc.Fire(aEvKill)
 					if at.req != nil {
 						r.session.sched.cancel(at.req)
 					}
-				case aRunning:
-					at.state = aKilled
+				case at.lc.In(aRunning):
+					// The observer closes the span: a teardown-killed
+					// running attempt journals ATTEMPT_FINISHED/KILLED.
+					at.lc.Fire(aEvKill)
 					if at.pc != nil {
 						r.session.sched.discard(at.pc)
 					}
@@ -740,7 +749,7 @@ func (r *dagRun) onParQuery(q msgParQuery) {
 		q.reply <- -1
 		return
 	}
-	if vs.parallelism > 0 && vs.state != vNew && vs.state != vIniting {
+	if vs.parallelism > 0 && !vs.lc.In(vNew, vIniting) {
 		q.reply <- vs.parallelism
 		return
 	}

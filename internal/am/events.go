@@ -10,12 +10,12 @@ import (
 // onTaskEvent routes a control event emitted by a task (§3.3): the
 // framework inspects only the envelope and routes the opaque payload.
 func (r *dagRun) onTaskEvent(at *attemptState, ev event.Event) {
-	if r.finished {
+	if r.isFinished() {
 		return
 	}
 	// Zombie protection: only currently-running attempts may influence the
 	// control plane.
-	if at.state != aRunning {
+	if !at.lc.In(aRunning) {
 		return
 	}
 	switch e := ev.(type) {
@@ -57,7 +57,7 @@ func (r *dagRun) deliverMovement(es *edgeState, dm event.DataMovement) {
 		routed.TargetInput = es.e.From
 		routed.TargetInputIndex = inputIdx
 		for _, cat := range es.to.tasks[destTask].attempts {
-			if cat.state == aRunning {
+			if cat.lc.In(aRunning) {
 				cat.mbox.Put(routed)
 			}
 		}
@@ -116,7 +116,7 @@ func (r *dagRun) onInputReadError(e event.InputReadError) {
 	} else if ts.restored {
 		current = ts.restoredAttempt
 	}
-	if ts.state != tSucceeded || current != e.SrcAttempt {
+	if !ts.lc.In(tSucceeded) || current != e.SrcAttempt {
 		// Stale report: the producer is already being handled.
 		return
 	}
@@ -154,10 +154,10 @@ func (r *dagRun) reexecuteTask(ts *taskState) {
 	}
 	ts.restored = false
 	ts.winner = nil
-	ts.state = tRunning
+	ts.lc.Fire(tEvRerun)
 	vs.completed--
-	if vs.state == vSucceeded {
-		vs.state = vRunning
+	if vs.lc.In(vSucceeded) {
+		vs.lc.Fire(vEvRerun)
 	}
 	r.counters.Add("TASKS_REEXECUTED", 1)
 
@@ -184,7 +184,7 @@ func (r *dagRun) reexecuteTask(ts *taskState) {
 					SrcAttempt:       oldAttempt,
 				}
 				for _, cat := range es.to.tasks[destTask].attempts {
-					if cat.state == aRunning {
+					if cat.lc.In(aRunning) {
 						cat.mbox.Put(retract)
 					}
 				}
@@ -200,7 +200,7 @@ func (r *dagRun) reexecuteTask(ts *taskState) {
 // edges — or go only to DFS sinks — are spared: reliable storage is the
 // barrier to cascading re-execution.
 func (r *dagRun) onNodeFailed(node cluster.NodeID, planned bool) {
-	if r.finished {
+	if r.isFinished() {
 		return
 	}
 	r.deadNodes[string(node)] = true
@@ -224,7 +224,7 @@ func (r *dagRun) onNodeFailed(node cluster.NodeID, planned bool) {
 			continue
 		}
 		for _, ts := range vs.tasks {
-			if ts.state != tSucceeded {
+			if !ts.lc.In(tSucceeded) {
 				continue
 			}
 			onNode := ts.restored && ts.restoredNode == string(node) ||

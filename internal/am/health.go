@@ -12,7 +12,10 @@ import (
 
 // nodeHealth is the session's per-node failure tracker and blacklist — the
 // AM-side node health policy of YARN AMs (§4.3). Genuine attempt failures
-// (onAttemptDone) and fetch-failure retractions (onInputReadError) are
+// (onAttemptDone — "genuine" is decided by the attempt lifecycle's A_DONE
+// selector, classifyAttemptDone in lifecycle.go: container kills,
+// input-error casualties and node-loss races are KILLED, never charged)
+// and fetch-failure retractions (onInputReadError) are
 // attributed to the node they ran on / the producer's node; once either
 // counter reaches NodeMaxTaskFailures the node is blacklisted: the
 // scheduler stops reusing idle containers there and excludes it from RM
@@ -25,7 +28,7 @@ type nodeHealth struct {
 	maxFailures int
 	decay       time.Duration
 	capCount    int
-	now         timeline.Clock     // injectable (Config.Clock)
+	now         timeline.Clock    // injectable (Config.Clock)
 	tl          *timeline.Journal // nil-safe event sink
 
 	mu          sync.Mutex

@@ -60,7 +60,7 @@ func (r *dagRun) saveCheckpoint() {
 		Vertices: map[string]vertexCheckpoint{},
 	}
 	for name, vs := range r.vertices {
-		if vs.state != vSucceeded {
+		if !vs.lc.In(vSucceeded) {
 			continue
 		}
 		vc := vertexCheckpoint{Parallelism: vs.parallelism, Committed: vs.commitComplete}
@@ -126,22 +126,22 @@ func (r *dagRun) applyCheckpoint(cp *checkpoint) {
 		vs.parallelism = vc.Parallelism
 		vs.tasks = make([]*taskState, vc.Parallelism)
 		for i := range vs.tasks {
-			vs.tasks[i] = &taskState{
-				vertex:          vs,
-				idx:             i,
-				state:           tSucceeded,
-				restored:        true,
-				restoredAttempt: vc.Tasks[i].Attempt,
-				restoredNode:    vc.Tasks[i].Node,
-			}
+			ts := newTaskState(r, vs, i)
+			ts.restored = true
+			ts.restoredAttempt = vc.Tasks[i].Attempt
+			ts.restoredNode = vc.Tasks[i].Node
+			// Replay the checkpointed completion through the lifecycle
+			// table instead of reconstructing the state by hand.
+			ts.lc.Fire(tEvRestored)
+			vs.tasks[i] = ts
 		}
 		vs.completed = vc.Parallelism
-		vs.state = vSucceeded
+		// vNew → vSucceeded; the observer journals VERTEX_RECOVERED.
+		vs.lc.Fire(vEvRecovered)
 		vs.commitComplete = vc.Committed
 		vs.committed = vc.Committed
 		r.counters.Add("VERTICES_RECOVERED", 1)
 		restored++
-		r.tl().Record(timeline.Event{Type: timeline.VertexRecovered, DAG: r.id, Vertex: name})
 	}
 	r.tl().Record(timeline.Event{
 		Type: timeline.DAGRecovered, DAG: r.id,
@@ -160,7 +160,7 @@ func (r *dagRun) applyCheckpoint(cp *checkpoint) {
 	// Restored vertices with unfinished commits must still commit.
 	for name, vc := range cp.Vertices {
 		vs, ok := r.vertices[name]
-		if !ok || vs.state != vSucceeded {
+		if !ok || !vs.lc.In(vSucceeded) {
 			continue
 		}
 		if len(vs.v.Sinks) > 0 && !vc.Committed {

@@ -2,27 +2,52 @@ package am
 
 import (
 	"time"
+
+	"tez/internal/timeline"
 )
 
-// onTick runs the periodic checks: straggler speculation (§4.2) and
-// out-of-order scheduling deadlock preemption (§3.4).
+// amBacklogReportThreshold gates AM_BACKLOG journal events: mailbox-depth
+// high-water marks below it are tracked in the counter gauge only, so a
+// healthy run (backlog ~0–2) does not spam the timeline.
+const amBacklogReportThreshold = 16
+
+// onTick runs the periodic checks: straggler speculation (§4.2),
+// out-of-order scheduling deadlock preemption (§3.4), and the dispatcher
+// backlog gauge.
 func (r *dagRun) onTick() {
-	if r.finished {
+	if r.isFinished() {
 		return
 	}
+	r.observeBacklog()
 	if r.cfg.Speculation {
 		r.checkSpeculation()
 	}
 	r.checkDeadlock()
 }
 
+// observeBacklog samples the dispatcher mailbox depth. The high-water
+// mark is kept as the AM_MAILBOX_BACKLOG_MAX gauge; crossing the report
+// threshold also journals an AM_BACKLOG event, making a stuck or starved
+// dispatcher visible in the timeline instead of only as a hang.
+func (r *dagRun) observeBacklog() {
+	n := int64(r.mb.Len())
+	if n <= r.backlogMax {
+		return
+	}
+	r.backlogMax = n
+	r.counters.SetMax("AM_MAILBOX_BACKLOG_MAX", n)
+	if n >= amBacklogReportThreshold {
+		r.tl().Record(timeline.Event{Type: timeline.AMBacklog, DAG: r.id, Val: n})
+	}
+}
+
 // checkSpeculation launches a speculative twin for attempts running far
 // longer than the vertex's mean completed-task runtime: the clone races
 // the original to completion (§4.2, Speculation).
 func (r *dagRun) checkSpeculation() {
-	now := time.Now()
+	now := r.clock()
 	for _, vs := range r.vertices {
-		if vs.state != vRunning || len(vs.durations) < r.cfg.SpeculationMinCompleted {
+		if !vs.lc.In(vRunning) || len(vs.durations) < r.cfg.SpeculationMinCompleted {
 			continue
 		}
 		var total time.Duration
@@ -35,7 +60,7 @@ func (r *dagRun) checkSpeculation() {
 			continue
 		}
 		for _, ts := range vs.tasks {
-			if ts.state != tRunning || len(ts.attempts) == 0 {
+			if !ts.lc.In(tRunning) || len(ts.attempts) == 0 {
 				continue
 			}
 			// One speculative attempt per task, only when exactly one
@@ -47,7 +72,7 @@ func (r *dagRun) checkSpeculation() {
 				if at.speculative {
 					speculated = true
 				}
-				if at.state == aRunning {
+				if at.lc.In(aRunning) {
 					running++
 					if oldest == nil || at.start.Before(oldest.start) {
 						oldest = at
@@ -81,7 +106,7 @@ func (r *dagRun) checkDeadlock() {
 		}
 		for _, ts := range vs.tasks {
 			for _, at := range ts.attempts {
-				if at.state != aRunning || at.pc == nil {
+				if !at.lc.In(aRunning) || at.pc == nil {
 					continue
 				}
 				if victim == nil ||

@@ -27,8 +27,10 @@ type VertexManagerContext interface {
 	// descriptors of the named in-edges (by source vertex) in the same
 	// validated transaction — Tez's full setVertexParallelism.
 	SetParallelismWithEdges(n int, edgeManagers map[string]plugin.Descriptor) error
-	// ScheduleTasks asks the framework to run the given tasks. Already
-	// scheduled tasks are ignored, so managers may be idempotent.
+	// ScheduleTasks asks the framework to run the given tasks, driving
+	// each through its lifecycle table (PENDING → SCHEDULED, lifecycle.go)
+	// and creating the first attempt. Already-scheduled ids are expected
+	// repeats and are ignored, so managers may be idempotent.
 	ScheduleTasks(tasks []int)
 	// SourceVertices lists vertices with an edge into this vertex.
 	SourceVertices() []string

@@ -45,7 +45,7 @@ func (c *vmContext) SetParallelismWithEdges(n int, edgeManagers map[string]plugi
 		return nil
 	}
 	for _, ts := range vs.tasks {
-		if ts.state != tPending {
+		if !ts.lc.In(tPending) {
 			return fmt.Errorf("am: SetParallelism on %s after tasks were scheduled", vs.v.Name)
 		}
 	}
@@ -75,7 +75,7 @@ func (c *vmContext) SetParallelismWithEdges(n int, edgeManagers map[string]plugi
 			continue
 		}
 		for _, ts := range es.to.tasks {
-			if ts.state != tPending {
+			if !ts.lc.In(tPending) {
 				return fmt.Errorf("am: SetParallelism(%d) on %s after consumer %s scheduled tasks",
 					n, vs.v.Name, es.e.To)
 			}
@@ -131,7 +131,7 @@ func (c *vmContext) SetParallelismWithEdges(n int, edgeManagers map[string]plugi
 	vs.parallelism = n
 	vs.tasks = make([]*taskState, n)
 	for i := range vs.tasks {
-		vs.tasks[i] = &taskState{vertex: vs, idx: i}
+		vs.tasks[i] = newTaskState(run, vs, i)
 	}
 	for _, c := range commits {
 		c.es.mgr = c.mgr
@@ -195,7 +195,7 @@ func (c *vmContext) SourceTaskCompleted(name string, task int) bool {
 	if !ok || task < 0 || task >= len(vs.tasks) {
 		return false
 	}
-	return vs.tasks[task].state == tSucceeded
+	return vs.tasks[task].lc.In(tSucceeded)
 }
 
 // SetOutEdgePayload swaps the producer-side output configuration of an
@@ -207,7 +207,7 @@ func (c *vmContext) SetOutEdgePayload(destVertex string, payload []byte) error {
 		return fmt.Errorf("am: no edge %s->%s", c.vs.v.Name, destVertex)
 	}
 	for _, ts := range c.vs.tasks {
-		if ts.state != tPending {
+		if !ts.lc.In(tPending) {
 			return fmt.Errorf("am: SetOutEdgePayload on %s after tasks were scheduled", c.vs.v.Name)
 		}
 	}

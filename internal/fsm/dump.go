@@ -1,0 +1,79 @@
+package fsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table dumps: render a built Spec's transition table as a Mermaid
+// stateDiagram-v2 or Graphviz DOT digraph, in declaration order so output
+// is deterministic. Multi-arc transitions emit one edge per declared arc,
+// the event label suffixed with "?" to mark the runtime choice.
+
+// Mermaid renders the spec as a Mermaid stateDiagram-v2 block.
+func (s *Spec[Op, S, E]) Mermaid() string {
+	if !s.built {
+		panic(fmt.Sprintf("fsm: %s: Mermaid before Build", s.Name))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "stateDiagram-v2\n")
+	fmt.Fprintf(&b, "    [*] --> %s\n", s.StateName(s.Initial))
+	for i := range s.Transitions {
+		t := &s.Transitions[i]
+		for _, d := range s.dests(t) {
+			fmt.Fprintf(&b, "    %s --> %s: %s\n",
+				s.StateName(t.From), s.StateName(d), s.edgeLabel(t))
+		}
+	}
+	for _, st := range s.states {
+		if s.terminal[st] {
+			fmt.Fprintf(&b, "    %s --> [*]\n", s.StateName(st))
+		}
+	}
+	return b.String()
+}
+
+// DOT renders the spec as a Graphviz digraph.
+func (s *Spec[Op, S, E]) DOT() string {
+	if !s.built {
+		panic(fmt.Sprintf("fsm: %s: DOT before Build", s.Name))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", s.Name)
+	fmt.Fprintf(&b, "  rankdir=LR;\n")
+	fmt.Fprintf(&b, "  node [shape=box, fontname=\"monospace\"];\n")
+	for _, st := range s.states {
+		attrs := ""
+		switch {
+		case st == s.Initial:
+			attrs = " [style=bold]"
+		case s.terminal[st]:
+			attrs = " [peripheries=2]"
+		}
+		fmt.Fprintf(&b, "  %q%s;\n", s.StateName(st), attrs)
+	}
+	for i := range s.Transitions {
+		t := &s.Transitions[i]
+		for _, d := range s.dests(t) {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n",
+				s.StateName(t.From), s.StateName(d), s.edgeLabel(t))
+		}
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+func (s *Spec[Op, S, E]) dests(t *Transition[Op, S, E]) []S {
+	if len(t.Arcs) > 0 {
+		return t.Arcs
+	}
+	return []S{t.To}
+}
+
+func (s *Spec[Op, S, E]) edgeLabel(t *Transition[Op, S, E]) string {
+	label := s.EventName(t.On)
+	if len(t.Arcs) > 0 {
+		label += "?"
+	}
+	return label
+}

@@ -1,0 +1,303 @@
+// Package fsm is a small generic transition-table engine for the AM's
+// control-plane state machines, modeled on Hadoop's StateMachineFactory
+// (which the paper's AM builds its DAG/vertex/task/attempt lifecycles on,
+// §3.3–§4.1). A Spec declares every legal (state, event) pair up front —
+// single-arc transitions with an optional side-effect Hook, or multi-arc
+// transitions whose Select hook picks the destination from a declared arc
+// set. Firing an undeclared pair never mutates state: it returns an
+// *InvalidTransitionError and invokes the machine's OnInvalid handler, so
+// a would-be silent drop-on-the-floor guard becomes a journaled,
+// checkable invariant.
+//
+// Specs are immutable after Build and shared by every Machine instance;
+// a Machine is just {spec, operand, current state} plus its observer
+// hooks, so per-entity machines are cheap. The engine does no locking:
+// like the rest of the AM control plane, machines are owned by a single
+// dispatcher goroutine.
+package fsm
+
+import "fmt"
+
+// Transition declares one row of the table: every legal way to leave
+// From on event On. Exactly one of To (single-arc) or Arcs+Select
+// (multi-arc) must be used.
+type Transition[Op any, S comparable, E comparable] struct {
+	From S
+	On   E
+	// To is the single-arc destination (self-loops are legal).
+	To S
+	// Arcs lists the destinations of a multi-arc transition; Select picks
+	// one of them per firing.
+	Arcs []S
+	// Hook runs just before the state changes (single-arc only). It
+	// receives the machine's operand and the payload passed to FireWith.
+	Hook func(op Op, payload any)
+	// Select picks the destination of a multi-arc transition; it may also
+	// record derived facts on the payload (the MultipleArcTransition
+	// contract). Required exactly when Arcs is set. Returning a state
+	// outside Arcs is a programmer error and panics.
+	Select func(op Op, payload any) S
+}
+
+// Spec is a machine definition: declare the exported fields, then call
+// Build once. Build validates the table (duplicate pairs, transitions out
+// of terminal states, unreachable states are all programmer errors and
+// panic) and indexes it; the built Spec is immutable and shared by every
+// Machine it creates.
+type Spec[Op any, S comparable, E comparable] struct {
+	Name        string
+	Initial     S
+	Terminal    []S
+	Transitions []Transition[Op, S, E]
+	// StateName / EventName label states and events in errors and table
+	// dumps; they default to fmt.Sprint (so fmt.Stringer values render
+	// their names).
+	StateName func(S) string
+	EventName func(E) string
+
+	built    bool
+	table    map[S]map[E]*Transition[Op, S, E]
+	terminal map[S]bool
+	states   []S // declaration order, Initial first
+	events   []E // declaration order
+}
+
+// Build validates and indexes the spec, returning it for use. It panics
+// on structural errors — a malformed table is a bug, not a runtime
+// condition.
+func (s *Spec[Op, S, E]) Build() *Spec[Op, S, E] {
+	if s.built {
+		return s
+	}
+	if s.StateName == nil {
+		s.StateName = func(st S) string { return fmt.Sprint(st) }
+	}
+	if s.EventName == nil {
+		s.EventName = func(ev E) string { return fmt.Sprint(ev) }
+	}
+	s.table = make(map[S]map[E]*Transition[Op, S, E])
+	s.terminal = make(map[S]bool)
+	for _, t := range s.Terminal {
+		s.terminal[t] = true
+	}
+	seenState := map[S]bool{}
+	addState := func(st S) {
+		if !seenState[st] {
+			seenState[st] = true
+			s.states = append(s.states, st)
+		}
+	}
+	addState(s.Initial)
+	seenEvent := map[E]bool{}
+	for i := range s.Transitions {
+		t := &s.Transitions[i]
+		if s.terminal[t.From] {
+			panic(fmt.Sprintf("fsm: %s: transition out of terminal state %s", s.Name, s.StateName(t.From)))
+		}
+		if (len(t.Arcs) > 0) != (t.Select != nil) {
+			panic(fmt.Sprintf("fsm: %s: %s/%s: Arcs and Select must be set together",
+				s.Name, s.StateName(t.From), s.EventName(t.On)))
+		}
+		if len(t.Arcs) > 0 && t.Hook != nil {
+			panic(fmt.Sprintf("fsm: %s: %s/%s: multi-arc transitions take Select, not Hook",
+				s.Name, s.StateName(t.From), s.EventName(t.On)))
+		}
+		row := s.table[t.From]
+		if row == nil {
+			row = make(map[E]*Transition[Op, S, E])
+			s.table[t.From] = row
+		}
+		if _, dup := row[t.On]; dup {
+			panic(fmt.Sprintf("fsm: %s: duplicate transition %s/%s",
+				s.Name, s.StateName(t.From), s.EventName(t.On)))
+		}
+		row[t.On] = t
+		addState(t.From)
+		if len(t.Arcs) > 0 {
+			for _, a := range t.Arcs {
+				addState(a)
+			}
+		} else {
+			addState(t.To)
+		}
+		if !seenEvent[t.On] {
+			seenEvent[t.On] = true
+			s.events = append(s.events, t.On)
+		}
+	}
+	for t := range s.terminal {
+		addState(t)
+	}
+	s.built = true
+	if err := s.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// Validate checks the built table's graph invariants: every declared
+// state must be reachable from Initial.
+func (s *Spec[Op, S, E]) Validate() error {
+	if !s.built {
+		return fmt.Errorf("fsm: %s: Validate before Build", s.Name)
+	}
+	reach := map[S]bool{s.Initial: true}
+	frontier := []S{s.Initial}
+	for len(frontier) > 0 {
+		st := frontier[0]
+		frontier = frontier[1:]
+		for _, t := range s.table[st] {
+			dests := t.Arcs
+			if len(dests) == 0 {
+				dests = []S{t.To}
+			}
+			for _, d := range dests {
+				if !reach[d] {
+					reach[d] = true
+					frontier = append(frontier, d)
+				}
+			}
+		}
+	}
+	for _, st := range s.states {
+		if !reach[st] {
+			return fmt.Errorf("fsm: %s: state %s is unreachable from %s",
+				s.Name, s.StateName(st), s.StateName(s.Initial))
+		}
+	}
+	return nil
+}
+
+// States returns every declared state, Initial first, in declaration
+// order.
+func (s *Spec[Op, S, E]) States() []S { return append([]S(nil), s.states...) }
+
+// Events returns every declared event type in declaration order.
+func (s *Spec[Op, S, E]) Events() []E { return append([]E(nil), s.events...) }
+
+// LegalEvents returns the events with a declared transition out of from.
+func (s *Spec[Op, S, E]) LegalEvents(from S) []E {
+	var out []E
+	for _, ev := range s.events {
+		if _, ok := s.table[from][ev]; ok {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// IsTerminal reports whether st is a declared terminal (absorbing) state.
+func (s *Spec[Op, S, E]) IsTerminal(st S) bool { return s.terminal[st] }
+
+// InvalidTransitionError reports a fired (state, event) pair with no
+// declared transition. The machine's state is guaranteed unchanged.
+type InvalidTransitionError struct {
+	Machine string
+	State   string
+	Event   string
+}
+
+func (e *InvalidTransitionError) Error() string {
+	return fmt.Sprintf("fsm: %s: no transition from %s on %s", e.Machine, e.State, e.Event)
+}
+
+// Machine is one entity's live state, driven through its Spec's table.
+// Not safe for concurrent use: a machine belongs to one dispatcher
+// goroutine, like the AM state it models.
+type Machine[Op any, S comparable, E comparable] struct {
+	spec      *Spec[Op, S, E]
+	op        Op
+	state     S
+	observer  func(op Op, from, to S, on E)
+	onInvalid func(op Op, err *InvalidTransitionError)
+}
+
+// New returns a machine at the spec's Initial state.
+func (s *Spec[Op, S, E]) New(op Op) *Machine[Op, S, E] {
+	if !s.built {
+		panic(fmt.Sprintf("fsm: %s: New before Build", s.Name))
+	}
+	return &Machine[Op, S, E]{spec: s, op: op, state: s.Initial}
+}
+
+// Observe installs f, called after every successful transition (from may
+// equal to on self-loops). Returns the machine for chaining.
+func (m *Machine[Op, S, E]) Observe(f func(op Op, from, to S, on E)) *Machine[Op, S, E] {
+	m.observer = f
+	return m
+}
+
+// OnInvalid installs f, called whenever a fired pair has no declared
+// transition — the detection path for would-be silent guards.
+func (m *Machine[Op, S, E]) OnInvalid(f func(op Op, err *InvalidTransitionError)) *Machine[Op, S, E] {
+	m.onInvalid = f
+	return m
+}
+
+// State returns the current state.
+func (m *Machine[Op, S, E]) State() S { return m.state }
+
+// In reports whether the current state is any of states.
+func (m *Machine[Op, S, E]) In(states ...S) bool {
+	for _, s := range states {
+		if m.state == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Terminal reports whether the machine has reached an absorbing state.
+func (m *Machine[Op, S, E]) Terminal() bool { return m.spec.terminal[m.state] }
+
+// Can reports whether on has a declared transition from the current
+// state — the declarative replacement for ad-hoc state-field guards.
+func (m *Machine[Op, S, E]) Can(on E) bool {
+	_, ok := m.spec.table[m.state][on]
+	return ok
+}
+
+// Fire drives the machine with an event that carries no payload.
+func (m *Machine[Op, S, E]) Fire(on E) error { return m.FireWith(on, nil) }
+
+// FireWith drives the machine: the declared transition's Hook or Select
+// runs, then the state changes, then the observer fires. An undeclared
+// pair changes nothing, invokes OnInvalid and returns the
+// *InvalidTransitionError.
+func (m *Machine[Op, S, E]) FireWith(on E, payload any) error {
+	t, ok := m.spec.table[m.state][on]
+	if !ok {
+		err := &InvalidTransitionError{
+			Machine: m.spec.Name,
+			State:   m.spec.StateName(m.state),
+			Event:   m.spec.EventName(on),
+		}
+		if m.onInvalid != nil {
+			m.onInvalid(m.op, err)
+		}
+		return err
+	}
+	from := m.state
+	to := t.To
+	if t.Select != nil {
+		to = t.Select(m.op, payload)
+		legal := false
+		for _, a := range t.Arcs {
+			if a == to {
+				legal = true
+				break
+			}
+		}
+		if !legal {
+			panic(fmt.Sprintf("fsm: %s: Select for %s/%s returned undeclared arc %s",
+				m.spec.Name, m.spec.StateName(from), m.spec.EventName(on), m.spec.StateName(to)))
+		}
+	} else if t.Hook != nil {
+		t.Hook(m.op, payload)
+	}
+	m.state = to
+	if m.observer != nil {
+		m.observer(m.op, from, to, on)
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package fsm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A toy lifecycle for engine tests: a door that can be opened, closed,
+// slammed (multi-arc: breaks if already stressed) and demolished.
+type door struct {
+	stressed bool
+	log      []string
+}
+
+const (
+	closed = iota
+	open
+	broken
+	gone
+)
+
+const (
+	evOpen = iota
+	evClose
+	evSlam
+	evDemolish
+)
+
+var stateNames = map[int]string{closed: "CLOSED", open: "OPEN", broken: "BROKEN", gone: "GONE"}
+var eventNames = map[int]string{evOpen: "OPEN", evClose: "CLOSE", evSlam: "SLAM", evDemolish: "DEMOLISH"}
+
+func doorSpec() *Spec[*door, int, int] {
+	return (&Spec[*door, int, int]{
+		Name:      "door",
+		Initial:   closed,
+		Terminal:  []int{gone},
+		StateName: func(s int) string { return stateNames[s] },
+		EventName: func(e int) string { return eventNames[e] },
+		Transitions: []Transition[*door, int, int]{
+			{From: closed, On: evOpen, To: open, Hook: func(d *door, _ any) { d.log = append(d.log, "hook") }},
+			{From: open, On: evClose, To: closed},
+			{From: open, On: evSlam, Arcs: []int{closed, broken}, Select: func(d *door, _ any) int {
+				if d.stressed {
+					return broken
+				}
+				d.stressed = true
+				return closed
+			}},
+			{From: closed, On: evDemolish, To: gone},
+			{From: open, On: evDemolish, To: gone},
+			{From: broken, On: evDemolish, To: gone},
+		},
+	}).Build()
+}
+
+func TestSingleArcHookAndObserver(t *testing.T) {
+	d := &door{}
+	var seen []string
+	m := doorSpec().New(d).Observe(func(d *door, from, to, on int) {
+		d.log = append(d.log, "observe")
+		seen = append(seen, stateNames[from]+"->"+stateNames[to])
+	})
+	if m.State() != closed || m.Terminal() {
+		t.Fatalf("initial state = %v terminal=%v", m.State(), m.Terminal())
+	}
+	if !m.Can(evOpen) || m.Can(evClose) {
+		t.Fatal("Can disagrees with the table")
+	}
+	if err := m.Fire(evOpen); err != nil {
+		t.Fatal(err)
+	}
+	// Hook runs before the observer.
+	if strings.Join(d.log, ",") != "hook,observe" {
+		t.Fatalf("hook/observer order = %v", d.log)
+	}
+	if len(seen) != 1 || seen[0] != "CLOSED->OPEN" {
+		t.Fatalf("observer saw %v", seen)
+	}
+}
+
+func TestMultiArcSelect(t *testing.T) {
+	d := &door{}
+	m := doorSpec().New(d)
+	m.Fire(evOpen)
+	if err := m.Fire(evSlam); err != nil || m.State() != closed {
+		t.Fatalf("first slam: %v state=%v", err, m.State())
+	}
+	m.Fire(evOpen)
+	if err := m.Fire(evSlam); err != nil || m.State() != broken {
+		t.Fatalf("second slam: %v state=%v", err, m.State())
+	}
+}
+
+func TestInvalidTransitionDoesNotMutate(t *testing.T) {
+	d := &door{}
+	var invalid []*InvalidTransitionError
+	m := doorSpec().New(d).OnInvalid(func(_ *door, err *InvalidTransitionError) {
+		invalid = append(invalid, err)
+	})
+	err := m.Fire(evClose) // closed has no CLOSE transition
+	if err == nil {
+		t.Fatal("illegal event fired without error")
+	}
+	var ite *InvalidTransitionError
+	if !errors.As(err, &ite) {
+		t.Fatalf("error type = %T", err)
+	}
+	if ite.Machine != "door" || ite.State != "CLOSED" || ite.Event != "CLOSE" {
+		t.Fatalf("error fields = %+v", ite)
+	}
+	if m.State() != closed {
+		t.Fatal("invalid transition mutated state")
+	}
+	if len(invalid) != 1 {
+		t.Fatalf("OnInvalid fired %d times", len(invalid))
+	}
+}
+
+func TestTerminalStatesAbsorb(t *testing.T) {
+	m := doorSpec().New(&door{})
+	m.Fire(evDemolish)
+	if !m.Terminal() {
+		t.Fatal("GONE not terminal")
+	}
+	for ev := range eventNames {
+		if err := m.Fire(ev); err == nil || m.State() != gone {
+			t.Fatalf("terminal state accepted event %v (state now %v)", eventNames[ev], m.State())
+		}
+	}
+}
+
+func TestSpecIntrospection(t *testing.T) {
+	s := doorSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	states := s.States()
+	if len(states) != 4 || states[0] != closed {
+		t.Fatalf("States() = %v", states)
+	}
+	if got := len(s.Events()); got != 4 {
+		t.Fatalf("Events() = %d", got)
+	}
+	legal := s.LegalEvents(open)
+	if len(legal) != 3 { // CLOSE, SLAM, DEMOLISH
+		t.Fatalf("LegalEvents(open) = %v", legal)
+	}
+	if !s.IsTerminal(gone) || s.IsTerminal(open) {
+		t.Fatal("IsTerminal disagrees with declaration")
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	expectPanic := func(name string, spec *Spec[*door, int, int]) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Build did not panic", name)
+			}
+		}()
+		spec.Build()
+	}
+	expectPanic("duplicate pair", &Spec[*door, int, int]{
+		Name: "dup", Initial: closed,
+		Transitions: []Transition[*door, int, int]{
+			{From: closed, On: evOpen, To: open},
+			{From: closed, On: evOpen, To: broken},
+		},
+	})
+	expectPanic("terminal with outgoing arc", &Spec[*door, int, int]{
+		Name: "term", Initial: closed, Terminal: []int{open},
+		Transitions: []Transition[*door, int, int]{
+			{From: closed, On: evOpen, To: open},
+			{From: open, On: evClose, To: closed},
+		},
+	})
+	expectPanic("unreachable state", &Spec[*door, int, int]{
+		Name: "unreach", Initial: closed, Terminal: []int{gone},
+		Transitions: []Transition[*door, int, int]{
+			{From: closed, On: evOpen, To: open},
+			{From: broken, On: evDemolish, To: gone},
+		},
+	})
+	expectPanic("arcs without select", &Spec[*door, int, int]{
+		Name: "arcs", Initial: closed,
+		Transitions: []Transition[*door, int, int]{
+			{From: closed, On: evSlam, Arcs: []int{open, broken}},
+		},
+	})
+}
+
+func TestDumpFormats(t *testing.T) {
+	s := doorSpec()
+	mmd := s.Mermaid()
+	for _, want := range []string{
+		"stateDiagram-v2",
+		"[*] --> CLOSED",
+		"CLOSED --> OPEN: OPEN",
+		"OPEN --> BROKEN: SLAM?", // multi-arc marked
+		"GONE --> [*]",
+	} {
+		if !strings.Contains(mmd, want) {
+			t.Fatalf("Mermaid missing %q:\n%s", want, mmd)
+		}
+	}
+	dot := s.DOT()
+	for _, want := range []string{
+		`digraph "door"`,
+		`"CLOSED" [style=bold]`,
+		`"GONE" [peripheries=2]`,
+		`"OPEN" -> "CLOSED" [label="SLAM?"]`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic output.
+	if s.Mermaid() != mmd || s.DOT() != dot {
+		t.Fatal("dump output is not deterministic")
+	}
+}

@@ -59,6 +59,81 @@ func TestTryGet(t *testing.T) {
 	}
 }
 
+// TestCloseWakesBlockedGet pins the teardown path: a Get parked on an
+// empty mailbox must wake with ok=false the moment Close runs, not hang.
+func TestCloseWakesBlockedGet(t *testing.T) {
+	m := New[int]()
+	const waiters = 4
+	done := make(chan bool, waiters)
+	var started sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		started.Add(1)
+		go func() {
+			started.Done()
+			_, ok := m.Get()
+			done <- ok
+		}()
+	}
+	started.Wait()
+	m.Close()
+	for i := 0; i < waiters; i++ {
+		if ok := <-done; ok {
+			t.Fatal("Get woken by Close returned ok=true with no item")
+		}
+	}
+}
+
+// TestPutAfterCloseDuringTeardown models the AM teardown race: late
+// producers (a task finishing after its DAG was torn down) keep Putting
+// into a mailbox that was just closed — every Put must be a silent no-op,
+// concurrently safe, and leave the drained mailbox empty.
+func TestPutAfterCloseDuringTeardown(t *testing.T) {
+	m := New[int]()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Put(p*200 + i)
+			}
+		}(p)
+	}
+	m.Close()
+	wg.Wait()
+	// Whatever raced in before Close drains in order; then ok=false forever.
+	for {
+		if _, ok := m.Get(); !ok {
+			break
+		}
+	}
+	m.Put(42)
+	if m.Len() != 0 {
+		t.Fatalf("Put after close enqueued; Len=%d", m.Len())
+	}
+	if _, ok := m.TryGet(); ok {
+		t.Fatal("TryGet on closed drained mailbox returned ok")
+	}
+}
+
+// TestLenTracksBacklog pins Len as the backlog gauge the AM dispatcher
+// samples (AM_MAILBOX_BACKLOG_MAX).
+func TestLenTracksBacklog(t *testing.T) {
+	m := New[int]()
+	for i := 1; i <= 32; i++ {
+		m.Put(i)
+		if m.Len() != i {
+			t.Fatalf("Len after %d Puts = %d", i, m.Len())
+		}
+	}
+	for i := 31; i >= 0; i-- {
+		m.Get()
+		if m.Len() != i {
+			t.Fatalf("Len after drain to %d = %d", i, m.Len())
+		}
+	}
+}
+
 func TestConcurrentProducersConsumers(t *testing.T) {
 	m := New[int]()
 	const producers, perProducer = 8, 500

@@ -75,6 +75,19 @@ const (
 
 	// ChaosFault records one injected fault (Info: "kind site").
 	ChaosFault Type = "CHAOS_FAULT"
+
+	// TransitionInvalid records a control-plane event fired at a state
+	// with no declared transition (internal/fsm): the machine's state was
+	// NOT changed. Info carries the machine/state/event triple. A healthy
+	// run journals none of these — each one is a control-plane bug made
+	// visible where the old guard style dropped it on the floor.
+	TransitionInvalid Type = "TRANSITION_INVALID"
+
+	// AMBacklog records a new high-water mark of the AM dispatcher's
+	// mailbox backlog (Val: queued messages) once it crosses a reporting
+	// threshold — a stuck or starved dispatcher becomes visible in the
+	// timeline instead of only as a hang.
+	AMBacklog Type = "AM_BACKLOG"
 )
 
 // Event is one journal entry. Seq is monotonic per run (the DAG field
