@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check bench chaos trace
+.PHONY: build vet lint test race check bench bench-shuffle fuzz-short chaos trace
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,22 @@ check: build lint race
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
+
+# bench-shuffle measures the shuffle data plane: the go-bench view of the
+# sort/merge ablations plus the grouped-read allocation benchmark, then
+# the structured run that persists BENCH_shuffle.json (ns/op, B/op,
+# allocs/op for serial-boxed vs arena vs arena+spill vs arena+flate, and
+# the end-to-end codec rows). CI uploads the JSON as an artifact.
+bench-shuffle:
+	$(GO) test -run XXX -bench BenchmarkGroupedRead -benchmem ./internal/library/
+	$(GO) run ./cmd/tez-bench -exp shuffle-sort,shuffle-codec -shuffle-json BENCH_shuffle.json
+
+# fuzz-short gives the record-framing decoders a brief coverage-guided
+# shake on every run (the checked-in corpus under testdata/fuzz replays
+# regardless, as ordinary tests).
+fuzz-short:
+	$(GO) test -run XXX -fuzz FuzzDecodeRecord -fuzztime 5s ./internal/library/
+	$(GO) test -run XXX -fuzz FuzzBufferReader -fuzztime 5s ./internal/library/
 
 # chaos runs the seed-pinned fault-injection suite under the race
 # detector: the determinism contract, the blacklisting/casualty paths in

@@ -60,6 +60,15 @@ func BenchmarkAblationParallelFetch(b *testing.B)    { runFigure(b, bench.Ablati
 func BenchmarkAblationObjectRegistry(b *testing.B)   { runFigure(b, bench.AblationObjectRegistry) }
 func BenchmarkAblationSpeculation(b *testing.B)      { runFigure(b, bench.AblationSpeculation) }
 
+// BenchmarkAblationShuffleSort regenerates the shuffle sort data-plane
+// table: boxed pairs vs arena pointer sort vs spill-constrained vs flate
+// (run `make bench-shuffle` to persist it as BENCH_shuffle.json).
+func BenchmarkAblationShuffleSort(b *testing.B) { runFigure(b, bench.AblationShuffleSort) }
+
+// BenchmarkAblationShuffleCodec regenerates the end-to-end wire codec
+// table (wordcount/Hive/Pig under codec none vs flate).
+func BenchmarkAblationShuffleCodec(b *testing.B) { runFigure(b, bench.AblationShuffleCodec) }
+
 // BenchmarkChaosRobustness runs the seeded fault-injection table: the
 // same workload under each chaos schedule, asserting identical results.
 func BenchmarkChaosRobustness(b *testing.B) { runFigure(b, bench.ChaosRobustness) }

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -18,7 +20,8 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small | full")
-	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,chaos,ablations")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,chaos,ablations,shuffle-sort,shuffle-codec")
+	shuffleJSON := flag.String("shuffle-json", "", "write shuffle-sort/shuffle-codec results to this JSON file")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -71,6 +74,42 @@ func main() {
 		for _, r := range reps {
 			fmt.Println(r)
 		}
+	}
+
+	// The shuffle data-plane ablations are computed as structured rows so
+	// -shuffle-json can persist them (BENCH_shuffle.json) alongside the
+	// printed tables.
+	var shufflePayload struct {
+		Scale string                     `json:"scale"`
+		Sort  []bench.ShuffleBenchResult `json:"sort,omitempty"`
+		Codec []bench.ShuffleCodecResult `json:"codec,omitempty"`
+	}
+	shufflePayload.Scale = sc.Name
+	if all || want["shuffle-sort"] {
+		rows, err := bench.ShuffleSortResults(sc)
+		if err != nil {
+			log.Fatalf("shuffle-sort: %v", err)
+		}
+		shufflePayload.Sort = rows
+		fmt.Println(bench.ShuffleSortReport(rows))
+	}
+	if all || want["shuffle-codec"] {
+		rows, err := bench.ShuffleCodecResults(sc)
+		if err != nil {
+			log.Fatalf("shuffle-codec: %v", err)
+		}
+		shufflePayload.Codec = rows
+		fmt.Println(bench.ShuffleCodecReport(rows))
+	}
+	if *shuffleJSON != "" && (shufflePayload.Sort != nil || shufflePayload.Codec != nil) {
+		blob, err := json.MarshalIndent(shufflePayload, "", "  ")
+		if err != nil {
+			log.Fatalf("shuffle-json: %v", err)
+		}
+		if err := os.WriteFile(*shuffleJSON, append(blob, '\n'), 0o644); err != nil {
+			log.Fatalf("shuffle-json: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *shuffleJSON)
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 }

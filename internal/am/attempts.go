@@ -139,6 +139,10 @@ func (r *dagRun) onAssigned(at *attemptState, pc *pooledContainer) {
 		Counters:         r.counters,
 		Token:            r.token,
 		FetchParallelism: fetchPar,
+		SortMB:           r.session.cfg.ShuffleSortMB,
+		MergeFactor:      r.session.cfg.ShuffleMergeFactor,
+		Codec:            r.session.cfg.ShuffleCodec,
+		Timeline:         r.tl(),
 	}
 	r.replayEvents(at)
 	go func() {

@@ -74,6 +74,22 @@ type Config struct {
 	// DisableParallelFetch forces serial shuffle fetching regardless of
 	// ShuffleFetchParallelism (ablation knob for §3.4 overlap).
 	DisableParallelFetch bool
+	// ShuffleSortMB caps the map-side sort buffer of ordered shuffle
+	// outputs (MiB): past the cap a sorted run is spilled and merged back
+	// at close, the ExternalSorter discipline. Zero defers to
+	// shuffle.Config.SortMB (default unbounded); negative forces
+	// unbounded.
+	ShuffleSortMB int
+	// ShuffleMergeFactor bounds how many sorted runs a reduce-side input
+	// merges at once; beyond it, runs that have already arrived are
+	// pre-merged while stragglers are still fetching. Zero defers to
+	// shuffle.Config.MergeFactor and then the library default (64);
+	// negative disables intermediate merges.
+	ShuffleMergeFactor int
+	// ShuffleCodec names the wire block codec for shuffle partitions
+	// ("none", "flate"). Empty defers to shuffle.Config.Codec and then
+	// "none".
+	ShuffleCodec string
 
 	// DeadlockCheckInterval / DeadlockWait configure detection of
 	// scheduling deadlocks caused by out-of-order task scheduling: when

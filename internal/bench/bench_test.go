@@ -121,6 +121,70 @@ func TestAblationSuite(t *testing.T) {
 	}
 }
 
+// TestShuffleSortAblation is the arena acceptance gate: the pointer sort
+// must at least halve allocations per record and not be slower than the
+// boxed baseline it replaced.
+func TestShuffleSortAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := ShuffleSortResults(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]ShuffleBenchResult{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r
+	}
+	boxed, arena := byVariant["serial-boxed"], byVariant["arena"]
+	if boxed.Records == 0 || arena.Records == 0 {
+		t.Fatalf("missing variants in %+v", rows)
+	}
+	if arena.AllocsPerRecord*2 > boxed.AllocsPerRecord {
+		t.Fatalf("arena allocs/record %.3f not ≥2x better than boxed %.3f",
+			arena.AllocsPerRecord, boxed.AllocsPerRecord)
+	}
+	if arena.NsPerOp >= boxed.NsPerOp {
+		t.Fatalf("arena ns/op %d not below boxed %d", arena.NsPerOp, boxed.NsPerOp)
+	}
+	rep, err := AblationShuffleSort(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, rep, 4)
+}
+
+// TestShuffleCodecAblation is the end-to-end codec acceptance: flate must
+// round-trip byte-identically through Register→Fetch→merge on wordcount,
+// Hive and Pig workloads while moving fewer wire bytes than raw.
+func TestShuffleCodecAblation(t *testing.T) {
+	rows, err := ShuffleCodecResults(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s under %s diverged from codec=none", r.Workload, r.Codec)
+		}
+		if r.BytesRaw <= 0 {
+			t.Errorf("%s under %s: no raw shuffle bytes recorded", r.Workload, r.Codec)
+		}
+		switch r.Codec {
+		case "none":
+			if r.BytesWire != r.BytesRaw {
+				t.Errorf("%s: codec=none wire %d != raw %d", r.Workload, r.BytesWire, r.BytesRaw)
+			}
+		case "flate":
+			if r.BytesWire >= r.BytesRaw {
+				t.Errorf("%s: flate wire %d not below raw %d", r.Workload, r.BytesWire, r.BytesRaw)
+			}
+		}
+	}
+}
+
 func TestReportRendering(t *testing.T) {
 	r := &Report{Figure: "F", Title: "T", Headers: []string{"a", "bb"}}
 	r.AddRow("x", "y")

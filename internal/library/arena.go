@@ -1,0 +1,140 @@
+package library
+
+import (
+	"bytes"
+	"slices"
+	"sync"
+
+	"tez/internal/metrics"
+)
+
+// The map-side sort buffer of the ordered shuffle output: record bytes
+// are appended to one contiguous arena and indexed by compact
+// {partition, offset, lengths} entries, so writing a record allocates
+// nothing (amortised) and sorting moves 24-byte index entries instead of
+// boxed key/value copies — the in-process analog of Tez's ExternalSorter
+// buffer, where the same trick (sort a pointer index over a byte buffer)
+// is what makes the sort cache- and GC-friendly.
+
+// recRef locates one record in the arena.
+type recRef struct {
+	off        int64
+	part       int32
+	klen, vlen int32
+}
+
+const recRefSize = 24 // bytes charged against the sort budget per entry
+
+// sortBuffer is an arena plus its index. It is single-writer (the task's
+// processor goroutine) and reused across tasks via sortBufferPool.
+type sortBuffer struct {
+	arena []byte
+	refs  []recRef
+}
+
+var sortBufferPool = sync.Pool{New: func() any { return new(sortBuffer) }}
+
+func (sb *sortBuffer) add(part int, k, v []byte) {
+	off := int64(len(sb.arena))
+	sb.arena = append(sb.arena, k...)
+	sb.arena = append(sb.arena, v...)
+	sb.refs = append(sb.refs, recRef{off: off, part: int32(part), klen: int32(len(k)), vlen: int32(len(v))})
+}
+
+func (sb *sortBuffer) key(r recRef) []byte {
+	return sb.arena[r.off : r.off+int64(r.klen)]
+}
+
+func (sb *sortBuffer) val(r recRef) []byte {
+	return sb.arena[r.off+int64(r.klen) : r.off+int64(r.klen)+int64(r.vlen)]
+}
+
+// used is the memory charged against the SortMB budget.
+func (sb *sortBuffer) used() int64 {
+	return int64(len(sb.arena)) + int64(len(sb.refs))*recRefSize
+}
+
+// sort orders the index by (partition, key, value). The value tiebreak
+// makes the order — and therefore every downstream merge — a pure
+// function of the record multiset, so spill counts and merge-tree shape
+// never change the output bytes.
+func (sb *sortBuffer) sort() {
+	slices.SortFunc(sb.refs, func(a, b recRef) int {
+		if a.part != b.part {
+			return int(a.part) - int(b.part)
+		}
+		if c := bytes.Compare(sb.key(a), sb.key(b)); c != 0 {
+			return c
+		}
+		return bytes.Compare(sb.val(a), sb.val(b))
+	})
+}
+
+// partSpan returns the sorted index segment of one partition. refs must
+// be sorted.
+func (sb *sortBuffer) partSpan(part int) []recRef {
+	lo, _ := slices.BinarySearchFunc(sb.refs, int32(part), func(r recRef, p int32) int { return int(r.part - p) })
+	hi, _ := slices.BinarySearchFunc(sb.refs, int32(part+1), func(r recRef, p int32) int { return int(r.part - p) })
+	return sb.refs[lo:hi]
+}
+
+// reset keeps capacity for the next task in a reused container.
+func (sb *sortBuffer) reset() {
+	sb.arena = sb.arena[:0]
+	sb.refs = sb.refs[:0]
+}
+
+// refsReader iterates a sorted index segment as a kvStream.
+type refsReader struct {
+	sb   *sortBuffer
+	refs []recRef
+	cur  recRef
+	i    int
+}
+
+func (r *refsReader) Next() bool {
+	if r.i >= len(r.refs) {
+		return false
+	}
+	r.cur = r.refs[r.i]
+	r.i++
+	return true
+}
+
+func (r *refsReader) Key() []byte   { return r.sb.key(r.cur) }
+func (r *refsReader) Value() []byte { return r.sb.val(r.cur) }
+func (r *refsReader) Err() error    { return nil }
+
+// runBufPool recycles spill-run and partition-encode buffers across
+// spills and container-reused tasks. Only producer-side buffers go
+// through it: shuffle.Service.Register copies partitions on entry, so a
+// registered buffer may be reused immediately, whereas reduce-side run
+// buffers are exposed zero-copy to processors and must not be recycled.
+var runBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getRunBuf() []byte {
+	b := runBufPool.Get().(*[]byte)
+	return (*b)[:0]
+}
+
+func putRunBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	runBufPool.Put(&b)
+}
+
+// mergeEncodedRuns k-way merges sorted encoded runs into one sorted
+// encoded buffer, optionally combining. Without a combiner the output is
+// the exact interleaving of the inputs, so the result size is known up
+// front.
+func mergeEncodedRuns(runs [][]byte, combine CombineFunc, buf []byte, ctr *metrics.Counters) ([]byte, error) {
+	var size int
+	for _, r := range runs {
+		size += len(r)
+	}
+	if cap(buf) < size {
+		buf = make([]byte, 0, size)
+	}
+	return encodeStream(newMergeReader(runs), combine, buf, ctr)
+}

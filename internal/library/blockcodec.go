@@ -1,0 +1,139 @@
+package library
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Block codecs compress whole shuffle partitions before they are
+// registered with the shuffle service and decompress them after they are
+// fetched — the analog of IFile codecs in real Tez. The codec name rides
+// in the DataMovement metadata (DMInfo.Codec), so the consumer needs no
+// out-of-band negotiation: each fetched block is self-describing. The
+// default "none" leaves the registered bytes exactly equal to the raw
+// record stream, which is what the chaos-determinism golden relies on.
+
+// BlockCodec compresses and decompresses whole shuffle blocks.
+type BlockCodec interface {
+	// Name is the registered codec name carried in DMInfo.Codec.
+	Name() string
+	// Encode appends the compressed form of src to dst and returns it.
+	Encode(dst, src []byte) ([]byte, error)
+	// Decode decompresses src; rawSize is the expected decoded length
+	// (a capacity hint and an integrity check when >= 0).
+	Decode(src []byte, rawSize int) ([]byte, error)
+}
+
+// DefaultBlockCodec is the codec used when no knob overrides it.
+const DefaultBlockCodec = "none"
+
+var (
+	codecMu     sync.RWMutex
+	blockCodecs = map[string]BlockCodec{}
+)
+
+// RegisterBlockCodec installs a codec under its Name. The built-ins are
+// "none" (identity, the default) and "flate" (DEFLATE, stdlib).
+func RegisterBlockCodec(c BlockCodec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	blockCodecs[c.Name()] = c
+}
+
+// ResolveBlockCodec looks a codec up by name. "" and "none" resolve to
+// nil: the identity codec, meaning bytes cross the wire untouched.
+func ResolveBlockCodec(name string) (BlockCodec, error) {
+	if name == "" || name == DefaultBlockCodec {
+		return nil, nil
+	}
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := blockCodecs[name]
+	if !ok {
+		return nil, fmt.Errorf("library: unknown shuffle codec %q", name)
+	}
+	return c, nil
+}
+
+func init() {
+	RegisterBlockCodec(flateCodec{})
+}
+
+// flateCodec is the built-in DEFLATE block codec. Writers and readers are
+// pooled — a flate writer alone is tens of kilobytes of window state, far
+// too much to allocate per partition on container-reused tasks.
+type flateCodec struct{}
+
+func (flateCodec) Name() string { return "flate" }
+
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.DefaultCompression)
+		return w
+	},
+}
+
+var flateReaderPool = sync.Pool{
+	New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
+}
+
+func (flateCodec) Encode(dst, src []byte) ([]byte, error) {
+	buf := bytes.NewBuffer(dst)
+	w := flateWriterPool.Get().(*flate.Writer)
+	w.Reset(buf)
+	if _, err := w.Write(src); err != nil {
+		flateWriterPool.Put(w)
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		flateWriterPool.Put(w)
+		return nil, err
+	}
+	flateWriterPool.Put(w)
+	return buf.Bytes(), nil
+}
+
+func (flateCodec) Decode(src []byte, rawSize int) ([]byte, error) {
+	r := flateReaderPool.Get().(io.ReadCloser)
+	defer flateReaderPool.Put(r)
+	if err := r.(flate.Resetter).Reset(bytes.NewReader(src), nil); err != nil {
+		return nil, err
+	}
+	capHint := rawSize
+	if capHint < 0 {
+		capHint = 2 * len(src)
+	}
+	out := bytes.NewBuffer(make([]byte, 0, capHint))
+	if _, err := io.Copy(out, r); err != nil {
+		return nil, fmt.Errorf("library: flate block corrupt: %w", err)
+	}
+	if rawSize >= 0 && out.Len() != rawSize {
+		return nil, fmt.Errorf("library: flate block decoded to %d bytes, want %d", out.Len(), rawSize)
+	}
+	return out.Bytes(), nil
+}
+
+// encodeBlock runs src through the named codec; with the identity codec
+// it returns src unchanged (no copy).
+func encodeBlock(codec BlockCodec, src []byte) ([]byte, error) {
+	if codec == nil {
+		return src, nil
+	}
+	return codec.Encode(make([]byte, 0, len(src)/2+64), src)
+}
+
+// decodeBlock reverses encodeBlock for a fetched block described by its
+// DMInfo codec name.
+func decodeBlock(name string, src []byte, rawSize int) ([]byte, error) {
+	codec, err := ResolveBlockCodec(name)
+	if err != nil {
+		return nil, err
+	}
+	if codec == nil {
+		return src, nil
+	}
+	return codec.Decode(src, rawSize)
+}

@@ -52,7 +52,9 @@ func DecodeRecord(buf []byte) (key, value []byte, consumed int, err error) {
 		return nil, nil, 0, nil
 	}
 	kl, n := binary.Uvarint(buf)
-	if n <= 0 || kl == 0 {
+	// kl-1 > len(buf) also rejects lengths that would overflow int (a
+	// fuzzer-found panic: int(kl-1) went negative and sliced [:negative]).
+	if n <= 0 || kl == 0 || kl-1 > uint64(len(buf)) {
 		return nil, nil, 0, fmt.Errorf("library: corrupt record header")
 	}
 	pos := n
@@ -63,7 +65,7 @@ func DecodeRecord(buf []byte) (key, value []byte, consumed int, err error) {
 	key = buf[pos : pos+klen]
 	pos += klen
 	vl, n := binary.Uvarint(buf[pos:])
-	if n <= 0 || vl == 0 {
+	if n <= 0 || vl == 0 || vl-1 > uint64(len(buf)) {
 		return nil, nil, 0, fmt.Errorf("library: corrupt value header")
 	}
 	pos += n

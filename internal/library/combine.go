@@ -1,0 +1,97 @@
+package library
+
+import (
+	"fmt"
+
+	"tez/internal/metrics"
+)
+
+// CombineFunc is a map-side pre-aggregator with reduce semantics: it runs
+// over each key group of a sorted spill (and again over the final merged
+// stream) before the data crosses the shuffle wire, cutting spilled and
+// transferred records (the combiner of real Tez's ExternalSorter). It
+// must be associative and idempotent under re-application, and must emit
+// pairs under the same key it was given — the output feeds a partition
+// that was chosen from the input key.
+type CombineFunc = ReduceFunc
+
+var combineFuncs = map[string]CombineFunc{}
+
+// RegisterCombineFunc installs a named combiner, referenced from
+// OrderedPartitionedConfig.Combiner (or mapreduce.JobConf.Combiner).
+func RegisterCombineFunc(name string, f CombineFunc) { combineFuncs[name] = f }
+
+// lookupCombiner resolves a configured combiner name; "" means none.
+func lookupCombiner(name string) (CombineFunc, error) {
+	if name == "" {
+		return nil, nil
+	}
+	f, ok := combineFuncs[name]
+	if !ok {
+		return nil, fmt.Errorf("library: combine func %q not registered", name)
+	}
+	return f, nil
+}
+
+// kvStream is the minimal key-ordered record iterator shared by the
+// spill/merge encoders (satisfied by *refsReader and *mergeReader).
+type kvStream interface {
+	Next() bool
+	Key() []byte
+	Value() []byte
+	Err() error
+}
+
+// encodeStream appends src's records to buf. With a combiner, records are
+// grouped by key (src must be key-ordered) and each group is passed
+// through the combiner, whose emits are encoded instead; without one the
+// records are encoded verbatim. Group buffers are reused — the combiner
+// only sees its arguments for the duration of the call.
+func encodeStream(src kvStream, combine CombineFunc, buf []byte, ctr *metrics.Counters) ([]byte, error) {
+	if combine == nil {
+		for src.Next() {
+			buf = AppendRecord(buf, src.Key(), src.Value())
+		}
+		return buf, src.Err()
+	}
+	var (
+		in, out int64
+		key     []byte
+		values  [][]byte
+	)
+	w := kvWriterFunc(func(k, v []byte) error {
+		buf = AppendRecord(buf, k, v)
+		out++
+		return nil
+	})
+	flush := func() error {
+		if len(values) == 0 {
+			return nil
+		}
+		return combine(key, values, w)
+	}
+	for src.Next() {
+		in++
+		if len(values) > 0 && string(src.Key()) != string(key) {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			values = values[:0]
+		}
+		if len(values) == 0 {
+			key = append(key[:0], src.Key()...)
+		}
+		values = append(values, src.Value())
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if ctr != nil && in > 0 {
+		ctr.Add("COMBINE_INPUT_RECORDS", in)
+		ctr.Add("COMBINE_OUTPUT_RECORDS", out)
+	}
+	return buf, nil
+}

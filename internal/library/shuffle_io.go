@@ -2,6 +2,8 @@ package library
 
 import (
 	"fmt"
+	goruntime "runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"tez/internal/plugin"
 	"tez/internal/runtime"
 	"tez/internal/shuffle"
+	"tez/internal/timeline"
 )
 
 // Registered names of the shuffle transports.
@@ -28,44 +31,89 @@ func init() {
 
 // DMInfo is the DataMovement payload of the built-in shuffle outputs: the
 // "access URL" metadata of §3.3 — which registered output and partition to
-// fetch.
+// fetch, plus the block codec the bytes crossed the wire in (the fetched
+// block is self-describing; there is no out-of-band codec negotiation).
 type DMInfo struct {
 	ID        shuffle.OutputID
 	Partition int
-	Size      int64
+	// Size is the registered (wire) size; RawSize the decoded record-
+	// stream size. They are equal under the default "none" codec, where
+	// Codec stays empty.
+	Size    int64
+	RawSize int64
+	Codec   string
 }
 
 // VMStats is the VertexManagerEvent payload the shuffle outputs send to
 // the consumer's ShuffleVertexManager: per-partition output sizes used for
-// the automatic partition-cardinality estimate (Figure 6).
+// the automatic partition-cardinality estimate (Figure 6). Sizes are raw
+// (pre-codec) so the estimate does not shift with the wire codec.
 type VMStats struct {
 	PartitionSizes []int64
 }
 
-// OrderedPartitionedConfig configures OrderedPartitionedKVOutput.
+// OrderedPartitionedConfig configures OrderedPartitionedKVOutput (and is
+// reused, partitioner and codec fields only, by the unordered partitioned
+// output). All additions must keep the gob zero value meaning "default"
+// so old payloads stay decodable.
 type OrderedPartitionedConfig struct {
 	Partitioner PartitionerSpec
 	// NoStats suppresses the VMStats event to the consumer vertex manager
 	// (stats are sent by default; the field is inverted so the gob
 	// zero-value default keeps them on).
 	NoStats bool
+	// Combiner names a RegisterCombineFunc pre-aggregator applied to each
+	// sorted spill and to the final merge. Empty means none.
+	Combiner string
+	// Codec overrides the wire block codec for this edge ("none",
+	// "flate", or a registered name); empty defers to the per-task /
+	// cluster knobs.
+	Codec string
+	// SortBytes overrides the sort-spill budget in bytes: > 0 caps the
+	// in-memory sort buffer, < 0 forces unbounded, 0 defers to the
+	// SortMB knobs. Mainly for tests — the knobs speak megabytes.
+	SortBytes int64
 }
 
-// OrderedPartitionedKVOutput is the map-side shuffle transport: it
-// partitions pairs by the configured partitioner, sorts each partition by
-// key, registers the partitions with the node's shuffle service, and
-// announces them with one DataMovement event per partition plus a VMStats
+// Data-plane defaults when no knob overrides them.
+const (
+	// DefaultFetchParallelism is the fetcher-pool size of a shuffle
+	// consumer — the counterpart of real Tez's parallel fetcher threads.
+	DefaultFetchParallelism = 4
+	// DefaultMergeFactor bounds how many sorted runs the reduce side
+	// merges at once; above it, arrived runs are pre-merged while
+	// stragglers are still fetching.
+	DefaultMergeFactor = 64
+	// DefaultSortMB (0) leaves the map-side sort buffer unbounded: spills
+	// only happen when a budget is configured.
+	DefaultSortMB = 0
+)
+
+// OrderedPartitionedKVOutput is the map-side shuffle transport — the
+// in-process analog of Tez's ExternalSorter + IFile. Records are appended
+// to a contiguous byte arena with a compact index; the index is
+// pointer-sorted by (partition, key, value); a configured memory budget
+// (SortMB / SortBytes) spills sorted encoded runs, each optionally
+// pre-aggregated by a registered combiner; Close merges spills with the
+// in-memory remainder per partition (fanned out across a small worker
+// pool), compresses each partition with the configured block codec,
+// registers the partitions with the node's shuffle service, and announces
+// them with one DataMovement event per partition plus a VMStats
 // statistics event. The partition count comes from the edge manager via
 // Context.PhysicalCount.
 type OrderedPartitionedKVOutput struct {
 	ctx         *runtime.Context
 	cfg         OrderedPartitionedConfig
 	partitioner Partitioner
-	parts       [][]pair
-	bytes       int64
+	combine     CombineFunc
+	codec       BlockCodec
+	limit       int64 // sort budget in bytes; 0 = unbounded
+	parts       int
+	sb          *sortBuffer
+	spills      [][][]byte // spills[s][p] = sorted encoded run
 }
 
-// Initialize decodes configuration and prepares partition buffers.
+// Initialize decodes configuration and prepares the sort buffer.
 func (o *OrderedPartitionedKVOutput) Initialize(ctx *runtime.Context) error {
 	o.ctx = ctx
 	o.cfg = OrderedPartitionedConfig{}
@@ -79,25 +127,179 @@ func (o *OrderedPartitionedKVOutput) Initialize(ctx *runtime.Context) error {
 		return err
 	}
 	o.partitioner = p
+	if o.combine, err = lookupCombiner(o.cfg.Combiner); err != nil {
+		return err
+	}
+	if o.codec, err = ResolveBlockCodec(o.codecName()); err != nil {
+		return err
+	}
 	if ctx.PhysicalCount <= 0 {
 		return fmt.Errorf("library: ordered partitioned output with %d partitions", ctx.PhysicalCount)
 	}
-	o.parts = make([][]pair, ctx.PhysicalCount)
+	o.parts = ctx.PhysicalCount
+	o.limit = o.sortLimit()
+	o.sb = sortBufferPool.Get().(*sortBuffer)
 	return nil
 }
 
-// Writer returns a runtime.KVWriter buffering into partitions.
-func (o *OrderedPartitionedKVOutput) Writer() (any, error) {
-	return kvWriterFunc(func(k, v []byte) error {
-		p := o.partitioner.Partition(k, len(o.parts))
-		o.parts[p] = append(o.parts[p], pair{append([]byte(nil), k...), append([]byte(nil), v...)})
-		o.bytes += int64(RecordSize(k, v))
-		return nil
-	}), nil
+// codecName resolves the wire codec: edge payload, then the per-task AM
+// knob, then the cluster-wide shuffle default, then "none".
+func (o *OrderedPartitionedKVOutput) codecName() string {
+	name := o.cfg.Codec
+	if name == "" {
+		name = o.ctx.Services.Codec
+	}
+	if name == "" && o.ctx.Services.Shuffle != nil {
+		name = o.ctx.Services.Shuffle.Codec()
+	}
+	return name
 }
 
-// Close sorts, registers and announces the partitions.
+// sortLimit resolves the sort budget in bytes: edge payload SortBytes,
+// then the per-task AM SortMB, then the cluster-wide shuffle default.
+// Zero everywhere (the default) means no budget — sort wholly in memory.
+func (o *OrderedPartitionedKVOutput) sortLimit() int64 {
+	if o.cfg.SortBytes != 0 {
+		if o.cfg.SortBytes < 0 {
+			return 0
+		}
+		return o.cfg.SortBytes
+	}
+	mb := o.ctx.Services.SortMB
+	if mb == 0 && o.ctx.Services.Shuffle != nil {
+		mb = o.ctx.Services.Shuffle.SortMB()
+	}
+	if mb <= 0 {
+		return 0
+	}
+	return int64(mb) << 20
+}
+
+// Writer returns a runtime.KVWriter appending into the arena.
+func (o *OrderedPartitionedKVOutput) Writer() (any, error) {
+	return kvWriterFunc(o.write), nil
+}
+
+func (o *OrderedPartitionedKVOutput) write(k, v []byte) error {
+	o.sb.add(o.partitioner.Partition(k, o.parts), k, v)
+	if o.limit > 0 && o.sb.used() >= o.limit {
+		return o.spill()
+	}
+	return nil
+}
+
+// spill sorts the arena and encodes it into one sorted run per partition
+// (through the combiner when configured), then resets the arena keeping
+// its capacity — the ExternalSorter spill, minus the disk.
+func (o *OrderedPartitionedKVOutput) spill() error {
+	ctr := o.ctx.Services.Counters
+	start := time.Now()
+	sortStart := start
+	o.sb.sort()
+	sortNS := time.Since(sortStart).Nanoseconds()
+	runs := make([][]byte, o.parts)
+	for p := 0; p < o.parts; p++ {
+		seg := o.sb.partSpan(p)
+		if len(seg) == 0 {
+			continue
+		}
+		buf, err := encodeStream(&refsReader{sb: o.sb, refs: seg}, o.combine, getRunBuf(), ctr)
+		if err != nil {
+			return err
+		}
+		runs[p] = buf
+	}
+	records := int64(len(o.sb.refs))
+	o.spills = append(o.spills, runs)
+	o.sb.reset()
+	if ctr != nil {
+		ctr.Add("SHUFFLE_SPILLS", 1)
+		ctr.Add("SHUFFLE_SORT_TIME_NS", sortNS)
+	}
+	o.recordSpan(timeline.ShuffleSpill, o.ctx.Name, time.Since(start), records)
+	return nil
+}
+
+// recordSpan journals one data-plane span for this attempt (no-op without
+// a journal).
+func (o *OrderedPartitionedKVOutput) recordSpan(t timeline.Type, info string, dur time.Duration, val int64) {
+	o.ctx.Services.Timeline.Record(timeline.Event{
+		Type:    t,
+		DAG:     o.ctx.Meta.DAG,
+		Vertex:  o.ctx.Meta.Vertex,
+		Task:    o.ctx.Meta.Task,
+		Attempt: o.ctx.Meta.Attempt,
+		Node:    o.ctx.Services.Node,
+		Info:    info,
+		Dur:     dur,
+		Val:     val,
+	})
+}
+
+// Close sorts the remainder, merges it with any spills per partition
+// (combining again at the merge), applies the wire codec, registers and
+// announces the partitions. Per-partition finalisation fans out across a
+// small worker pool — partitions are independent, so the output bytes do
+// not depend on worker interleaving.
 func (o *OrderedPartitionedKVOutput) Close() ([]event.Event, error) {
+	ctr := o.ctx.Services.Counters
+	sortStart := time.Now()
+	o.sb.sort()
+	if ctr != nil {
+		ctr.Add("SHUFFLE_SORT_TIME_NS", time.Since(sortStart).Nanoseconds())
+	}
+
+	var (
+		raw      = make([][]byte, o.parts) // nil once handed to wire/pool
+		wire     = make([][]byte, o.parts)
+		rawSizes = make([]int64, o.parts)
+		errMu    sync.Mutex
+		firstErr error
+	)
+	mergeStart := time.Now()
+	workers := goruntime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	if workers > o.parts {
+		workers = o.parts
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				if err := o.finalizePartition(p, raw, wire, rawSizes); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for p := 0; p < o.parts; p++ {
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(o.spills) > 0 {
+		if ctr != nil {
+			ctr.Add("SHUFFLE_MERGE_TIME_NS", time.Since(mergeStart).Nanoseconds())
+		}
+		var totalRaw int64
+		for _, s := range rawSizes {
+			totalRaw += s
+		}
+		o.recordSpan(timeline.ShuffleMerge, "final "+o.ctx.Name, time.Since(mergeStart), totalRaw)
+	}
+
 	id := shuffle.OutputID{
 		DAG:     o.ctx.Meta.DAG,
 		Vertex:  o.ctx.Meta.Vertex,
@@ -105,25 +307,28 @@ func (o *OrderedPartitionedKVOutput) Close() ([]event.Event, error) {
 		Task:    o.ctx.Meta.Task,
 		Attempt: o.ctx.Meta.Attempt,
 	}
-	encoded := make([][]byte, len(o.parts))
-	sizes := make([]int64, len(o.parts))
-	for i, ps := range o.parts {
-		sortPairs(ps)
-		encoded[i] = encodePairs(ps)
-		sizes[i] = int64(len(encoded[i]))
-	}
-	if err := o.ctx.Services.Shuffle.Register(o.ctx.Services.Node, id, encoded, o.ctx.Services.Token); err != nil {
+	if err := o.ctx.Services.Shuffle.Register(o.ctx.Services.Node, id, wire, o.ctx.Services.Token); err != nil {
 		return nil, err
 	}
-	events := make([]event.Event, 0, len(o.parts)+1)
-	for i := range o.parts {
+	codecName := ""
+	if o.codec != nil {
+		codecName = o.codec.Name()
+	}
+	events := make([]event.Event, 0, o.parts+1)
+	for i := 0; i < o.parts; i++ {
 		events = append(events, event.DataMovement{
 			SrcVertex:      o.ctx.Meta.Vertex,
 			SrcTask:        o.ctx.Meta.Task,
 			SrcAttempt:     o.ctx.Meta.Attempt,
 			SrcOutputIndex: i,
 			TargetVertex:   o.ctx.Name,
-			Payload:        plugin.MustEncode(DMInfo{ID: id, Partition: i, Size: sizes[i]}),
+			Payload: plugin.MustEncode(DMInfo{
+				ID:        id,
+				Partition: i,
+				Size:      int64(len(wire[i])),
+				RawSize:   rawSizes[i],
+				Codec:     codecName,
+			}),
 		})
 	}
 	if !o.cfg.NoStats {
@@ -131,10 +336,73 @@ func (o *OrderedPartitionedKVOutput) Close() ([]event.Event, error) {
 			TargetVertex: o.ctx.Name,
 			SrcVertex:    o.ctx.Meta.Vertex,
 			SrcTask:      o.ctx.Meta.Task,
-			Payload:      plugin.MustEncode(VMStats{PartitionSizes: sizes}),
+			Payload:      plugin.MustEncode(VMStats{PartitionSizes: rawSizes}),
 		})
 	}
+	// Register copied the partitions, so every producer-side buffer is
+	// recyclable from here.
+	for i := range wire {
+		putRunBuf(wire[i])
+		wire[i] = nil
+	}
+	o.sb.reset()
+	sortBufferPool.Put(o.sb)
+	o.sb = nil
+	o.spills = nil
 	return events, nil
+}
+
+// finalizePartition produces one partition's final raw and wire buffers:
+// encode the sorted in-memory segment, merge it with the partition's
+// spill runs (combining), then run the block codec.
+func (o *OrderedPartitionedKVOutput) finalizePartition(p int, raw, wire [][]byte, rawSizes []int64) error {
+	ctr := o.ctx.Services.Counters
+	seg := o.sb.partSpan(p)
+	var buf []byte
+	var err error
+	if len(o.spills) == 0 {
+		buf, err = encodeStream(&refsReader{sb: o.sb, refs: seg}, o.combine, getRunBuf(), ctr)
+		if err != nil {
+			return err
+		}
+	} else {
+		runs := make([][]byte, 0, len(o.spills)+1)
+		for _, sp := range o.spills {
+			if len(sp[p]) > 0 {
+				runs = append(runs, sp[p])
+			}
+		}
+		var mem []byte
+		if len(seg) > 0 {
+			mem, err = encodeStream(&refsReader{sb: o.sb, refs: seg}, o.combine, getRunBuf(), ctr)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, mem)
+		}
+		buf, err = mergeEncodedRuns(runs, o.combine, getRunBuf(), ctr)
+		if err != nil {
+			return err
+		}
+		for _, sp := range o.spills {
+			putRunBuf(sp[p])
+			sp[p] = nil
+		}
+		putRunBuf(mem)
+	}
+	raw[p] = buf
+	rawSizes[p] = int64(len(buf))
+	if o.codec == nil {
+		wire[p] = buf
+		return nil
+	}
+	wire[p], err = encodeBlock(o.codec, buf)
+	if err != nil {
+		return err
+	}
+	putRunBuf(raw[p])
+	raw[p] = nil
+	return nil
 }
 
 // kvWriterFunc adapts a function to runtime.KVWriter.
@@ -142,30 +410,39 @@ type kvWriterFunc func(k, v []byte) error
 
 func (f kvWriterFunc) Write(k, v []byte) error { return f(k, v) }
 
-// DefaultFetchParallelism is the fetcher-pool size of a shuffle consumer
-// when neither am.Config.ShuffleFetchParallelism nor
-// shuffle.Config.FetchParallelism overrides it — the counterpart of real
-// Tez's parallel fetcher threads per reducer.
-const DefaultFetchParallelism = 4
-
 // fetchSet is the shared consumer-side machinery of the shuffle inputs:
 // it tracks expected physical inputs, accepts DataMovement events,
 // fetches their data on a pool of parallel fetcher goroutines
 // (overlapping with producer completion and with each other — the
 // latency-hiding overlap of §3.4), honours InputFailed retractions, and
 // surfaces producer data loss as a runtime.InputReadError.
+//
+// Two condition variables split the wakeups by audience: fetchers sleep
+// on work (new movements, stash releases, shutdown), the single reader
+// sleeps on done (stored runs, failure, shutdown) — storing a run no
+// longer wakes every fetcher in the pool.
 type fetchSet struct {
 	ctx     *runtime.Context
 	fetcher *shuffle.Fetcher // shared by all fetcher goroutines
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	runs     map[int][]byte // physical input index -> fetched data
-	attempt  map[int]int    // physical input index -> producing attempt
-	srcTask  map[int]int    // physical input index -> producing task
-	expect   map[int]int    // physical input index -> latest announced attempt
-	inflight map[int]bool   // physical input indexes currently being fetched
+	mu        sync.Mutex
+	work      *sync.Cond
+	done      *sync.Cond
+	runs      map[int][]byte // physical input index -> fetched data
+	attempt   map[int]int    // physical input index -> producing attempt
+	srcTask   map[int]int    // physical input index -> producing task
+	expect    map[int]int    // physical input index -> latest announced attempt
+	inflight  map[int]bool   // physical input indexes currently being fetched
+	merged    map[int]int    // indexes consumed into an intermediate merge -> attempt
+	premerged [][]byte       // intermediate merge outputs (ordered path)
+	// pending is a FIFO consumed through a head cursor (compacted when
+	// the dead prefix dominates) — the previous re-slice-on-every-scan
+	// made each wake O(queue) and the whole drain O(n²). Movements whose
+	// index is in flight are parked in stash and re-queued when that
+	// fetch completes, so scans never revisit them.
 	pending  []event.DataMovement
+	head     int
+	stash    map[int][]event.DataMovement
 	failure  *runtime.InputReadError
 	stopped  bool
 	fetchers sync.WaitGroup
@@ -187,9 +464,12 @@ func newFetchSet(ctx *runtime.Context) *fetchSet {
 		srcTask:  make(map[int]int),
 		expect:   make(map[int]int),
 		inflight: make(map[int]bool),
+		merged:   make(map[int]int),
+		stash:    make(map[int][]event.DataMovement),
 		quit:     make(chan struct{}),
 	}
-	fs.cond = sync.NewCond(&fs.mu)
+	fs.work = sync.NewCond(&fs.mu)
+	fs.done = sync.NewCond(&fs.mu)
 	return fs
 }
 
@@ -210,6 +490,27 @@ func (f *fetchSet) parallelism() int {
 	return n
 }
 
+// mergeFactor resolves the reduce-side merge width the same way: per-task
+// AM knob, cluster-wide shuffle default, then DefaultMergeFactor.
+// Negative disables intermediate merges (unbounded width); values below 2
+// are meaningless and clamp to 2.
+func (f *fetchSet) mergeFactor() int {
+	n := f.ctx.Services.MergeFactor
+	if n == 0 && f.ctx.Services.Shuffle != nil {
+		n = f.ctx.Services.Shuffle.MergeFactor()
+	}
+	if n == 0 {
+		n = DefaultMergeFactor
+	}
+	if n < 0 {
+		return 0
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
 // handleEvent records a DataMovement for fetching or an InputFailed
 // retraction.
 func (f *fetchSet) handleEvent(ev event.Event) error {
@@ -218,8 +519,8 @@ func (f *fetchSet) handleEvent(ev event.Event) error {
 		f.mu.Lock()
 		f.expect[e.TargetInputIndex] = e.SrcAttempt
 		f.pending = append(f.pending, e)
+		f.work.Signal()
 		f.mu.Unlock()
-		f.cond.Broadcast()
 	case event.InputFailed:
 		f.mu.Lock()
 		if at, ok := f.expect[e.TargetInputIndex]; ok && at == e.SrcAttempt {
@@ -230,8 +531,21 @@ func (f *fetchSet) handleEvent(ev event.Event) error {
 			delete(f.attempt, e.TargetInputIndex)
 			delete(f.srcTask, e.TargetInputIndex)
 		}
+		if at, ok := f.merged[e.TargetInputIndex]; ok && at == e.SrcAttempt && f.failure == nil {
+			// The retracted run was already folded into an intermediate
+			// merge and cannot be separated back out; surface the loss so
+			// this attempt is re-run against the replacement data.
+			f.failure = &runtime.InputReadError{
+				InputName:  f.ctx.Name,
+				SrcVertex:  f.ctx.Name,
+				SrcTask:    e.SrcTask,
+				SrcAttempt: e.SrcAttempt,
+				Err:        fmt.Errorf("library: input retracted after merge"),
+			}
+			f.work.Broadcast()
+			f.done.Broadcast()
+		}
 		f.mu.Unlock()
-		f.cond.Broadcast()
 	}
 	return nil
 }
@@ -260,31 +574,47 @@ func (f *fetchSet) start() {
 		case <-f.ctx.Stop:
 			f.mu.Lock()
 			f.stopped = true
+			f.work.Broadcast()
+			f.done.Broadcast()
 			f.mu.Unlock()
-			f.cond.Broadcast()
 		case <-f.quit:
 		}
 	}()
 }
 
-// nextLocked picks the next fetchable movement: retracted entries are
-// dropped, and an index already being fetched is skipped so two fetchers
-// never race on the same physical input (in-flight dedup).
+// nextLocked pops the next fetchable movement through the head cursor:
+// retracted or already-satisfied entries are dropped, and an index
+// already being fetched is parked in stash so two fetchers never race on
+// the same physical input (in-flight dedup) and later scans skip it.
 func (f *fetchSet) nextLocked() (event.DataMovement, bool) {
-	for i := 0; i < len(f.pending); {
-		dm := f.pending[i]
+	for f.head < len(f.pending) {
+		dm := f.pending[f.head]
+		f.head++
+		if f.head >= 64 && f.head*2 >= len(f.pending) {
+			n := copy(f.pending, f.pending[f.head:])
+			clearTail := f.pending[n:]
+			for i := range clearTail {
+				clearTail[i] = event.DataMovement{}
+			}
+			f.pending = f.pending[:n]
+			f.head = 0
+		}
 		idx := dm.TargetInputIndex
 		if at, ok := f.expect[idx]; !ok || at != dm.SrcAttempt {
 			// Retracted while queued; the replacement has (or will get)
 			// its own DataMovement.
-			f.pending = append(f.pending[:i], f.pending[i+1:]...)
 			continue
+		}
+		if at, ok := f.attempt[idx]; ok && at == dm.SrcAttempt {
+			continue // duplicate announcement of a stored run
+		}
+		if at, ok := f.merged[idx]; ok && at == dm.SrcAttempt {
+			continue // already consumed into an intermediate merge
 		}
 		if f.inflight[idx] {
-			i++
+			f.stash[idx] = append(f.stash[idx], dm)
 			continue
 		}
-		f.pending = append(f.pending[:i], f.pending[i+1:]...)
 		return dm, true
 	}
 	return event.DataMovement{}, false
@@ -299,7 +629,7 @@ func (f *fetchSet) fetchLoop() {
 		f.mu.Lock()
 		dm, ok := f.nextLocked()
 		for !ok && f.failure == nil && !f.stopped {
-			f.cond.Wait()
+			f.work.Wait()
 			dm, ok = f.nextLocked()
 		}
 		if f.failure != nil || f.stopped {
@@ -314,12 +644,20 @@ func (f *fetchSet) fetchLoop() {
 
 		f.mu.Lock()
 		delete(f.inflight, idx)
+		if s, ok := f.stash[idx]; ok {
+			delete(f.stash, idx)
+			f.pending = append(f.pending, s...)
+			f.work.Signal()
+		}
 		// Only store if this movement is still the expected attempt: an
 		// InputFailed retraction may have raced with the fetch, and a
 		// stale in-flight fetch must not clobber (or fail) the newer
 		// attempt that replaced it.
 		at, live := f.expect[idx]
 		current := live && at == dm.SrcAttempt
+		if mAt, ok := f.merged[idx]; ok && mAt == dm.SrcAttempt {
+			current = false // duplicate of an already-merged run
+		}
 		switch {
 		case err != nil && current:
 			if f.failure == nil {
@@ -331,21 +669,25 @@ func (f *fetchSet) fetchLoop() {
 					Err:        err,
 				}
 			}
+			f.work.Broadcast()
+			f.done.Broadcast()
 		case err == nil && current:
 			f.runs[idx] = data
 			f.attempt[idx] = dm.SrcAttempt
 			f.srcTask[idx] = dm.SrcTask
+			f.done.Broadcast()
 		}
 		// A stale fetch result — success or error — is dropped: the
 		// producer attempt was retracted and is being re-executed.
 		f.mu.Unlock()
-		f.cond.Broadcast()
 	}
 }
 
 // fetchOne decodes and fetches a single movement, maintaining the
 // fetch-path metrics (in-flight gauge + peak, per-fetch latency, retry
-// and byte counts).
+// and byte counts) and decoding the wire block codec. The wire/raw byte
+// counters are maintained here, on the consumer, so bytes are counted
+// once per transfer.
 func (f *fetchSet) fetchOne(dm event.DataMovement) ([]byte, error) {
 	var info DMInfo
 	if err := plugin.Decode(dm.Payload, &info); err != nil {
@@ -361,6 +703,10 @@ func (f *fetchSet) fetchOne(dm event.DataMovement) ([]byte, error) {
 	if f.testHookFetched != nil {
 		f.testHookFetched(dm)
 	}
+	wireLen := len(data)
+	if err == nil && info.Codec != "" {
+		data, err = decodeBlock(info.Codec, data, int(info.RawSize))
+	}
 	if ctr != nil {
 		ctr.Add("SHUFFLE_FETCHES_INFLIGHT", -1)
 		ctr.Add("SHUFFLE_FETCHES", 1)
@@ -369,7 +715,9 @@ func (f *fetchSet) fetchOne(dm event.DataMovement) ([]byte, error) {
 			ctr.Add("SHUFFLE_FETCH_RETRIES", int64(retries))
 		}
 		if err == nil {
-			ctr.Add("SHUFFLE_BYTES", int64(len(data)))
+			ctr.Add("SHUFFLE_BYTES", int64(wireLen))
+			ctr.Add("SHUFFLE_BYTES_WIRE", int64(wireLen))
+			ctr.Add("SHUFFLE_BYTES_RAW", int64(len(data)))
 		}
 	}
 	return data, err
@@ -382,7 +730,7 @@ func (f *fetchSet) wait() ([][]byte, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for len(f.runs) < f.ctx.PhysicalCount && f.failure == nil && !f.stopped {
-		f.cond.Wait()
+		f.done.Wait()
 	}
 	if f.failure != nil {
 		return nil, f.failure
@@ -397,12 +745,116 @@ func (f *fetchSet) wait() ([][]byte, error) {
 	return out, nil
 }
 
+// collectMerged is the ordered path's wait(): while stragglers are still
+// fetching, every time `factor` unmerged runs have arrived they are
+// k-way merged into one intermediate run outside the lock (merge/fetch
+// overlap), and the final result is bounded to at most `factor` runs for
+// the reader's heap. factor 0 disables intermediate merging. The merge is
+// content-deterministic — runs are merged by (key, value) order — so the
+// output bytes do not depend on arrival order or batch shape.
+func (f *fetchSet) collectMerged(factor int) ([][]byte, error) {
+	f.mu.Lock()
+	for {
+		if f.failure != nil {
+			f.mu.Unlock()
+			return nil, f.failure
+		}
+		if len(f.runs)+len(f.merged) >= f.ctx.PhysicalCount {
+			break
+		}
+		if f.stopped {
+			f.mu.Unlock()
+			return nil, fmt.Errorf("library: input %s: attempt killed while fetching", f.ctx.Name)
+		}
+		if factor >= 2 && len(f.runs) >= factor {
+			batch := f.takeMergeBatchLocked(factor)
+			f.mu.Unlock()
+			m, err := f.mergeRuns(batch)
+			f.mu.Lock()
+			if err != nil {
+				f.mu.Unlock()
+				return nil, err
+			}
+			f.premerged = append(f.premerged, m)
+			continue
+		}
+		f.done.Wait()
+	}
+	runs := make([][]byte, 0, len(f.premerged)+len(f.runs))
+	runs = append(runs, f.premerged...)
+	for i := 0; i < f.ctx.PhysicalCount; i++ {
+		if r, ok := f.runs[i]; ok {
+			runs = append(runs, r)
+		}
+	}
+	f.mu.Unlock()
+	for factor >= 2 && len(runs) > factor {
+		m, err := f.mergeRuns(runs[:factor])
+		if err != nil {
+			return nil, err
+		}
+		runs = append([][]byte{m}, runs[factor:]...)
+	}
+	return runs, nil
+}
+
+// takeMergeBatchLocked removes `factor` stored runs (ascending index, for
+// tidy accounting — any choice yields the same final bytes) and marks
+// their indexes merged.
+func (f *fetchSet) takeMergeBatchLocked(factor int) [][]byte {
+	idxs := make([]int, 0, len(f.runs))
+	for i := range f.runs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	idxs = idxs[:factor]
+	batch := make([][]byte, 0, factor)
+	for _, i := range idxs {
+		batch = append(batch, f.runs[i])
+		f.merged[i] = f.attempt[i]
+		delete(f.runs, i)
+		delete(f.attempt, i)
+		delete(f.srcTask, i)
+	}
+	return batch
+}
+
+// mergeRuns k-way merges sorted runs into one (no combiner on the reduce
+// side), charging merge time and journalling the span.
+func (f *fetchSet) mergeRuns(runs [][]byte) ([]byte, error) {
+	start := time.Now()
+	var total int64
+	for _, r := range runs {
+		total += int64(len(r))
+	}
+	out, err := mergeEncodedRuns(runs, nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if ctr := f.ctx.Services.Counters; ctr != nil {
+		ctr.Add("SHUFFLE_MERGE_TIME_NS", time.Since(start).Nanoseconds())
+	}
+	f.ctx.Services.Timeline.Record(timeline.Event{
+		Type:    timeline.ShuffleMerge,
+		DAG:     f.ctx.Meta.DAG,
+		Vertex:  f.ctx.Meta.Vertex,
+		Task:    f.ctx.Meta.Task,
+		Attempt: f.ctx.Meta.Attempt,
+		Node:    f.ctx.Services.Node,
+		Info:    "reduce " + f.ctx.Name,
+		Dur:     time.Since(start),
+		Val:     total,
+	})
+	return out, nil
+}
+
 func (f *fetchSet) close() error {
 	f.mu.Lock()
 	f.stopped = true
 	started := f.started
+	f.work.Broadcast()
+	f.done.Broadcast()
 	f.mu.Unlock()
-	f.cond.Broadcast()
 	if started {
 		close(f.quit)
 		f.fetchers.Wait()
@@ -412,8 +864,11 @@ func (f *fetchSet) close() error {
 
 // OrderedGroupedKVInput is the reduce-side shuffle transport: it fetches
 // every expected physical input (one per producer task per owned
-// partition), k-way merges the sorted runs and exposes a
-// runtime.GroupedKVReader of keys with grouped values.
+// partition), k-way merges the sorted runs — pre-merging arrived runs
+// while stragglers are still in flight when the count exceeds the merge
+// factor — and exposes a runtime.GroupedKVReader of keys with grouped
+// values. Keys and values are served zero-copy out of the fetched runs;
+// they are valid until the next call to Next.
 type OrderedGroupedKVInput struct {
 	fs *fetchSet
 }
@@ -430,9 +885,10 @@ func (in *OrderedGroupedKVInput) HandleEvent(ev event.Event) error { return in.f
 // Start begins fetching as soon as movements arrive.
 func (in *OrderedGroupedKVInput) Start() error { in.fs.start(); return nil }
 
-// Reader blocks for all inputs, then returns a GroupedKVReader.
+// Reader blocks for all inputs (merging early arrivals along the way),
+// then returns a GroupedKVReader over at most MergeFactor runs.
 func (in *OrderedGroupedKVInput) Reader() (any, error) {
-	runs, err := in.fs.wait()
+	runs, err := in.fs.collectMerged(in.fs.mergeFactor())
 	if err != nil {
 		return nil, err
 	}

@@ -74,11 +74,18 @@ func (m *mergeReader) Err() error    { return m.err }
 
 // groupedReader groups a key-ordered KV stream into (key, values) — the
 // reduce-side view. It implements runtime.GroupedKVReader.
+//
+// It is zero-copy: values are slices into the fetched run buffers (alive
+// for the whole task), the key lives in one buffer reused across groups,
+// and the values container is truncated and refilled rather than
+// reallocated — amortised, a group costs no allocations at all. The
+// contract is that Key and Values are valid only until the next call to
+// Next; consumers that need the bytes longer must copy them.
 type groupedReader struct {
 	src     *mergeReader
-	key     []byte
-	values  [][]byte
-	pending bool // src is positioned at the first pair of the next group
+	key     []byte   // reused across groups
+	values  [][]byte // reused container; elements point into run buffers
+	pending bool     // src is positioned at the first pair of the next group
 	err     error
 }
 
@@ -97,8 +104,8 @@ func (g *groupedReader) Next() bool {
 		g.err = g.src.Err()
 		return false
 	}
-	g.key = append([]byte(nil), g.src.Key()...)
-	g.values = [][]byte{append([]byte(nil), g.src.Value()...)}
+	g.key = append(g.key[:0], g.src.Key()...)
+	g.values = append(g.values[:0], g.src.Value())
 	for {
 		if !g.src.Next() {
 			g.pending = false
@@ -109,7 +116,7 @@ func (g *groupedReader) Next() bool {
 			g.pending = true
 			return true
 		}
-		g.values = append(g.values, append([]byte(nil), g.src.Value()...))
+		g.values = append(g.values, g.src.Value())
 	}
 }
 

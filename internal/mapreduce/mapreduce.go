@@ -24,6 +24,7 @@ type JobConf struct {
 	Name       string
 	Map        string
 	Reduce     string // empty: map-only job
+	Combiner   string // optional library.RegisterCombineFunc pre-aggregator
 	InputPaths []string
 	OutputPath string
 	Reducers   int   // reduce parallelism as submitted (default 4)
@@ -67,9 +68,13 @@ func BuildDAG(j JobConf) (*dag.DAG, error) {
 	}
 	r := d.AddVertex("reduce", plugin.Desc(library.ReduceProcessorName, library.FuncConfig{Func: j.Reduce}), j.Reducers)
 	r.Sinks = []dag.DataSink{sink}
+	var outPayload any
+	if j.Combiner != "" {
+		outPayload = library.OrderedPartitionedConfig{Combiner: j.Combiner}
+	}
 	d.Connect(m, r, dag.EdgeProperty{
 		Movement: dag.ScatterGather,
-		Output:   plugin.Desc(library.OrderedPartitionedOutputName, nil),
+		Output:   plugin.Desc(library.OrderedPartitionedOutputName, outPayload),
 		Input:    plugin.Desc(library.OrderedGroupedInputName, nil),
 	})
 	return d, nil

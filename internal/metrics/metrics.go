@@ -170,6 +170,50 @@ func AllocWaitReport(c *Counters) []AllocWait {
 	return out
 }
 
+// ShuffleDataPlane summarises the shuffle data-plane counters of one run:
+// map-side sort/spill/merge work, combiner effectiveness, and wire-vs-raw
+// transfer volume (they differ only when a block codec is on).
+type ShuffleDataPlane struct {
+	SortTime       time.Duration
+	MergeTime      time.Duration
+	Spills         int64
+	CombineIn      int64
+	CombineOut     int64
+	BytesWire      int64
+	BytesRaw       int64
+	Fetches        int64
+	FetchTime      time.Duration
+	CompressionPct float64 // wire bytes as % of raw (100 = incompressible/off)
+}
+
+// ShuffleReport extracts the data-plane summary from a counter set.
+func ShuffleReport(c *Counters) ShuffleDataPlane {
+	snap := c.Snapshot()
+	r := ShuffleDataPlane{
+		SortTime:   time.Duration(snap["SHUFFLE_SORT_TIME_NS"]),
+		MergeTime:  time.Duration(snap["SHUFFLE_MERGE_TIME_NS"]),
+		Spills:     snap["SHUFFLE_SPILLS"],
+		CombineIn:  snap["COMBINE_INPUT_RECORDS"],
+		CombineOut: snap["COMBINE_OUTPUT_RECORDS"],
+		BytesWire:  snap["SHUFFLE_BYTES_WIRE"],
+		BytesRaw:   snap["SHUFFLE_BYTES_RAW"],
+		Fetches:    snap["SHUFFLE_FETCHES"],
+		FetchTime:  time.Duration(snap["SHUFFLE_FETCH_TIME_NS"]),
+	}
+	if r.BytesRaw > 0 {
+		r.CompressionPct = 100 * float64(r.BytesWire) / float64(r.BytesRaw)
+	}
+	return r
+}
+
+// String renders the summary as one line per concern.
+func (r ShuffleDataPlane) String() string {
+	return fmt.Sprintf(
+		"shuffle: sort=%v merge=%v spills=%d combine=%d->%d wire=%dB raw=%dB (%.1f%%) fetches=%d fetch=%v",
+		r.SortTime, r.MergeTime, r.Spills, r.CombineIn, r.CombineOut,
+		r.BytesWire, r.BytesRaw, r.CompressionPct, r.Fetches, r.FetchTime)
+}
+
 // NodeHealth is one node's failure-tracking snapshot from the AM's
 // blacklisting subsystem: how many genuine attempt failures and fetch-
 // failure retractions were attributed to it, and its blacklist history.

@@ -66,10 +66,12 @@ func (m *mergedGroups) Next() bool {
 	if !found {
 		return false
 	}
-	m.key = append([]byte(nil), minKey...)
+	// Compare against the copied key, not minKey: minKey aliases a
+	// cursor's reusable key buffer, which c.advance() overwrites.
+	m.key = append(m.key[:0], minKey...)
 	m.values = m.values[:0]
 	for _, c := range m.cursors {
-		if c.live && bytes.Equal(c.r.Key(), minKey) {
+		if c.live && bytes.Equal(c.r.Key(), m.key) {
 			m.values = append(m.values, c.r.Values()...)
 			c.advance()
 			if c.err != nil {

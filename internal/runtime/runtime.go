@@ -19,6 +19,7 @@ import (
 	"tez/internal/plugin"
 	"tez/internal/security"
 	"tez/internal/shuffle"
+	"tez/internal/timeline"
 )
 
 // Meta identifies the task attempt an entity belongs to.
@@ -54,6 +55,21 @@ type Services struct {
 	// shuffle.Config.FetchParallelism (and then the library default);
 	// 1 forces serial fetching.
 	FetchParallelism int
+	// SortMB overrides the map-side shuffle sort budget (MiB) for this
+	// task's ordered outputs: 0 falls through to shuffle.Config.SortMB,
+	// negative forces unbounded (no spills).
+	SortMB int
+	// MergeFactor overrides the reduce-side merge width for this task's
+	// ordered inputs: 0 falls through to shuffle.Config.MergeFactor (and
+	// then the library default), negative disables intermediate merges.
+	MergeFactor int
+	// Codec overrides the shuffle wire block codec name for this task's
+	// outputs ("none", "flate", ...): empty falls through to
+	// shuffle.Config.Codec and then "none".
+	Codec string
+	// Timeline, when set, receives data-plane spans (sort spills, run
+	// merges) from this task's shuffle transports; nil records nothing.
+	Timeline *timeline.Journal
 }
 
 // Context is handed to every Input, Processor and Output at Initialize.

@@ -52,6 +52,20 @@ type Config struct {
 	// own default; 1 forces serial fetching. Per-task overrides (e.g.
 	// am.Config.ShuffleFetchParallelism) take precedence.
 	FetchParallelism int
+	// SortMB is the cluster-default map-side sort budget in MiB for
+	// ordered shuffle outputs: when the sort buffer exceeds it, a sorted
+	// run is spilled. Zero means unbounded (no spills). Per-task
+	// overrides (am.Config.ShuffleSortMB) take precedence.
+	SortMB int
+	// MergeFactor is the cluster-default reduce-side merge width: when
+	// more sorted runs than this arrive, early arrivals are pre-merged
+	// while stragglers are still fetching. Zero lets consumers fall back
+	// to the library default.
+	MergeFactor int
+	// Codec is the cluster-default wire block codec name for shuffle
+	// partitions ("none", "flate", or any codec registered with the
+	// library). Empty means "none": bytes cross the wire raw.
+	Codec string
 	// Chaos, when set, injects transient/permanent fetch faults and slow-
 	// node transfer multipliers (nil means no injection). Unlike
 	// TransientErrorRate's shared RNG, chaos decisions are deterministic
@@ -118,6 +132,18 @@ func New(cfg Config) *Service {
 // FetchParallelism returns the cluster-configured default fetcher-pool
 // size per consumer (0 when unset).
 func (s *Service) FetchParallelism() int { return s.cfg.FetchParallelism }
+
+// SortMB returns the cluster-configured default map-side sort budget in
+// MiB (0 when unset: unbounded).
+func (s *Service) SortMB() int { return s.cfg.SortMB }
+
+// MergeFactor returns the cluster-configured default reduce-side merge
+// width (0 when unset).
+func (s *Service) MergeFactor() int { return s.cfg.MergeFactor }
+
+// Codec returns the cluster-configured default wire block codec name
+// ("" when unset: none).
+func (s *Service) Codec() string { return s.cfg.Codec }
 
 // SetAuthority turns on token-based access control (§4.3): every
 // registration and fetch must then present the live token of the DAG the

@@ -113,6 +113,19 @@ func ChromeTrace(events []Event) ([]byte, error) {
 				Pid: pid, Tid: lanes.tid(pid, "shuffle @"+e.Node),
 				Args: map[string]any{"bytes": e.Val, "reader": e.Info},
 			})
+		case ShuffleSpill, ShuffleMerge:
+			verb := "spill"
+			args := map[string]any{"records": e.Val, "edge": e.Info}
+			if e.Type == ShuffleMerge {
+				verb = "merge"
+				args = map[string]any{"bytes": e.Val, "edge": e.Info}
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("%s %s/t%03d_a%d", verb, e.Vertex, e.Task, e.Attempt),
+				Ph:   "X", Ts: us(e.Start()), Dur: float64(e.Dur) / float64(time.Microsecond),
+				Pid: pid, Tid: lanes.tid(pid, "shuffle @"+e.Node),
+				Args: args,
+			})
 		default:
 			name := string(e.Type)
 			if e.Vertex != "" {

@@ -319,3 +319,106 @@ func TestCrashRecoveryJournalCoherence(t *testing.T) {
 		t.Fatalf("merged history does not start with the checkpointed prefix:\npre: %+v\nmerged: %+v", pre[0], evs[0])
 	}
 }
+
+// TestShuffleDataPlaneCountersInJournal runs a wordcount with a spill-
+// constrained, combined, flate-compressed shuffle and asserts the data
+// plane shows up both in the run's counters and as journalled spill/merge
+// spans — the counters-audit contract of the shuffle data plane.
+func TestShuffleDataPlaneCountersInJournal(t *testing.T) {
+	library.RegisterMapFunc("tltest.tokenize2", func(_, line []byte, out runtime.KVWriter) error {
+		for _, w := range strings.Fields(string(line)) {
+			if err := out.Write([]byte(w), []byte("1")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	sumv := func(k []byte, vs [][]byte, out runtime.KVWriter) error {
+		n := 0
+		for _, v := range vs {
+			i, err := strconv.Atoi(string(v))
+			if err != nil {
+				return err
+			}
+			n += i
+		}
+		return out.Write(k, []byte(strconv.Itoa(n)))
+	}
+	library.RegisterReduceFunc("tltest.sumv", sumv)
+	library.RegisterCombineFunc("tltest.sumv", sumv)
+
+	j := timeline.New()
+	pcfg := platform.Fast(4)
+	pcfg.Timeline = j
+	plat := platform.New(pcfg)
+	defer plat.Stop()
+
+	var lines []string
+	for i := 0; i < 60; i++ {
+		lines = append(lines, "alpha beta gamma delta epsilon zeta eta theta iota kappa")
+	}
+	writeLines(t, plat, "/in/dataplane", lines)
+
+	d := dag.New("dp")
+	tok := d.AddVertex("tokenizer", plugin.Desc(library.MapProcessorName, library.FuncConfig{Func: "tltest.tokenize2"}), -1)
+	tok.Sources = []dag.DataSource{{
+		Name:        "lines",
+		Input:       plugin.Desc(library.DFSSourceInputName, nil),
+		Initializer: plugin.Desc(library.SplitInitializerName, library.SplitSourceConfig{Paths: []string{"/in/dataplane"}, DesiredSplitSize: 512}),
+	}}
+	sum := d.AddVertex("summation", plugin.Desc(library.ReduceProcessorName, library.FuncConfig{Func: "tltest.sumv"}), 2)
+	sum.Sinks = []dag.DataSink{{
+		Name:      "counts",
+		Output:    plugin.Desc(library.DFSSinkOutputName, library.DFSSinkConfig{Path: "/out/dataplane"}),
+		Committer: plugin.Desc(library.DFSCommitterName, library.DFSSinkConfig{Path: "/out/dataplane"}),
+	}}
+	d.Connect(tok, sum, dag.EdgeProperty{
+		Movement: dag.ScatterGather,
+		// A few-KiB spill budget so this small run still spills, plus the
+		// sum combiner — the knobs an application would set per edge.
+		Output: plugin.Desc(library.OrderedPartitionedOutputName, library.OrderedPartitionedConfig{
+			SortBytes: 2048,
+			Combiner:  "tltest.sumv",
+		}),
+		Input: plugin.Desc(library.OrderedGroupedInputName, nil),
+	})
+
+	sess := am.NewSession(plat, am.Config{
+		Name:         "dataplane",
+		Timeline:     j,
+		ShuffleCodec: "flate",
+	})
+	defer sess.Close()
+	res, err := sess.Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != am.DAGSucceeded {
+		t.Fatalf("run status = %v", res.Status)
+	}
+
+	for _, c := range []string{"SHUFFLE_SORT_TIME_NS", "SHUFFLE_SPILLS", "SHUFFLE_MERGE_TIME_NS",
+		"COMBINE_INPUT_RECORDS", "COMBINE_OUTPUT_RECORDS", "SHUFFLE_BYTES_WIRE", "SHUFFLE_BYTES_RAW"} {
+		if res.Counters.Get(c) <= 0 {
+			t.Errorf("counter %s missing from the run", c)
+		}
+	}
+	if in, out := res.Counters.Get("COMBINE_INPUT_RECORDS"), res.Counters.Get("COMBINE_OUTPUT_RECORDS"); out >= in {
+		t.Errorf("combiner did not reduce records: in=%d out=%d", in, out)
+	}
+	if w, r := res.Counters.Get("SHUFFLE_BYTES_WIRE"), res.Counters.Get("SHUFFLE_BYTES_RAW"); w >= r {
+		t.Errorf("flate did not compress: wire=%d raw=%d", w, r)
+	}
+	spills, merges := 0, 0
+	for _, e := range j.Events() {
+		switch e.Type {
+		case timeline.ShuffleSpill:
+			spills++
+		case timeline.ShuffleMerge:
+			merges++
+		}
+	}
+	if spills == 0 || merges == 0 {
+		t.Fatalf("journal: %d spill, %d merge spans, want both > 0", spills, merges)
+	}
+}
