@@ -41,6 +41,12 @@ bench-shuffle:
 	$(GO) test -run XXX -bench BenchmarkGroupedRead -benchmem ./internal/library/
 	$(GO) run ./cmd/tez-bench -exp shuffle-sort,shuffle-codec -shuffle-json BENCH_shuffle.json
 
+# bench-controlplane drives the scheduler at 10k simulated nodes, the
+# event plane at 1M events, and a 100k-task DAG end to end, comparing
+# against the checked-in pre-optimisation baseline (PR 6).
+bench-controlplane:
+	$(GO) run ./cmd/tez-bench -exp controlplane -controlplane-json BENCH_controlplane.json
+
 # fuzz-short gives the record-framing decoders a brief coverage-guided
 # shake on every run (the checked-in corpus under testdata/fuzz replays
 # regardless, as ordinary tests).

@@ -20,8 +20,9 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small | full")
-	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,chaos,ablations,shuffle-sort,shuffle-codec")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,chaos,ablations,shuffle-sort,shuffle-codec,controlplane,controlplane-quick")
 	shuffleJSON := flag.String("shuffle-json", "", "write shuffle-sort/shuffle-codec results to this JSON file")
+	cpJSON := flag.String("controlplane-json", "", "write control-plane results to this JSON file")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -101,6 +102,42 @@ func main() {
 		shufflePayload.Codec = rows
 		fmt.Println(bench.ShuffleCodecReport(rows))
 	}
+	// Control-plane throughput (ROADMAP item 2). Opt-in, not part of
+	// "all": the flagship 10k-node / 100k-task DAG run takes minutes.
+	if want["controlplane"] || want["controlplane-quick"] {
+		rows, err := bench.ControlPlaneResults(want["controlplane"])
+		if err != nil {
+			log.Fatalf("controlplane: %v", err)
+		}
+		fmt.Println(bench.ControlPlaneReport(rows))
+		if *cpJSON != "" {
+			var payload struct {
+				Baseline []bench.ControlPlaneResult `json:"baseline,omitempty"`
+				Current  []bench.ControlPlaneResult `json:"current"`
+				Speedups map[string]string          `json:"speedups,omitempty"`
+			}
+			payload.Baseline = bench.ControlPlaneBaseline
+			payload.Current = rows
+			payload.Speedups = map[string]string{}
+			for _, r := range rows {
+				if s := bench.ControlPlaneSpeedup(rows, r.Experiment); s > 0 {
+					payload.Speedups[r.Experiment] = fmt.Sprintf("%.1fx", s)
+				}
+			}
+			if len(payload.Speedups) == 0 {
+				payload.Speedups = nil
+			}
+			blob, err := json.MarshalIndent(payload, "", "  ")
+			if err != nil {
+				log.Fatalf("controlplane-json: %v", err)
+			}
+			if err := os.WriteFile(*cpJSON, append(blob, '\n'), 0o644); err != nil {
+				log.Fatalf("controlplane-json: %v", err)
+			}
+			fmt.Printf("wrote %s\n", *cpJSON)
+		}
+	}
+
 	if *shuffleJSON != "" && (shufflePayload.Sort != nil || shufflePayload.Codec != nil) {
 		blob, err := json.MarshalIndent(shufflePayload, "", "  ")
 		if err != nil {

@@ -43,7 +43,7 @@ func (r *dagRun) newAttempt(ts *taskState, speculative bool) *attemptState {
 		tag:      r,
 		dag:      r.id,
 		assign: func(pc *pooledContainer) {
-			r.mb.Put(msgAssigned{at: at, pc: pc})
+			r.postAssigned(at, pc)
 		},
 	}
 	at.req = req
@@ -151,11 +151,11 @@ func (r *dagRun) onAssigned(at *attemptState, pc *pooledContainer) {
 			Services: services,
 			Incoming: at.mbox,
 			Emit: func(ev event.Event) {
-				r.mb.Put(msgTaskEvent{at: at, ev: ev})
+				r.postTaskEvent(at, ev)
 			},
 		}
 		err := pc.c.Exec(func(stop <-chan struct{}) error { return runner.Run(stop) })
-		r.mb.Put(msgAttemptDone{at: at, err: err})
+		r.postAttemptDone(at, err)
 	}()
 }
 
@@ -216,9 +216,13 @@ func (r *dagRun) buildTaskSpec(at *attemptState) runtime.TaskSpec {
 func (r *dagRun) replayEvents(at *attemptState) {
 	ts := at.task
 	vs := ts.vertex
+	// One PutAll: replay for a wide shuffle consumer delivers thousands of
+	// stored movements; batching makes that one lock round-trip and one
+	// consumer wakeup instead of one per event.
+	var replay []event.Event
 	for src, payloads := range vs.rootPayloads {
 		if ts.idx < len(payloads) {
-			at.mbox.Put(event.RootInputDataInformation{
+			replay = append(replay, event.RootInputDataInformation{
 				TargetVertex: vs.v.Name,
 				TargetTask:   ts.idx,
 				InputName:    src,
@@ -238,10 +242,11 @@ func (r *dagRun) replayEvents(at *attemptState) {
 				routed.TargetTask = destTask
 				routed.TargetInput = es.e.From
 				routed.TargetInputIndex = inputIdx
-				at.mbox.Put(routed)
+				replay = append(replay, routed)
 			}
 		}
 	}
+	at.mbox.PutAll(replay)
 }
 
 // onAttemptDone handles attempt termination: the A_DONE multi-arc

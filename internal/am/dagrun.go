@@ -2,6 +2,7 @@ package am
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tez/internal/cluster"
@@ -160,7 +161,11 @@ type edgeState struct {
 	movements map[[2]int]event.DataMovement
 }
 
-// Internal dispatcher messages.
+// Internal dispatcher messages. The three hot-path messages — assignment,
+// task event, attempt completion, of which a 100k-task DAG sends hundreds
+// of thousands — are pooled pointer messages: dispatch copies the fields
+// out, zeroes the struct and recycles it before invoking the handler, so
+// steady-state dispatch allocates nothing per message.
 
 type amMsg interface{}
 
@@ -177,6 +182,33 @@ type msgAttemptDone struct {
 type msgTaskEvent struct {
 	at *attemptState
 	ev event.Event
+}
+
+var (
+	assignedPool    = sync.Pool{New: func() any { return new(msgAssigned) }}
+	attemptDonePool = sync.Pool{New: func() any { return new(msgAttemptDone) }}
+	taskEventPool   = sync.Pool{New: func() any { return new(msgTaskEvent) }}
+)
+
+// postAssigned / postAttemptDone / postTaskEvent enqueue a pooled message.
+// Messages still queued when the run tears down are simply dropped to the
+// GC — the pool is an optimisation, not an ownership protocol.
+func (r *dagRun) postAssigned(at *attemptState, pc *pooledContainer) {
+	m := assignedPool.Get().(*msgAssigned)
+	m.at, m.pc = at, pc
+	r.mb.Put(m)
+}
+
+func (r *dagRun) postAttemptDone(at *attemptState, err error) {
+	m := attemptDonePool.Get().(*msgAttemptDone)
+	m.at, m.err = at, err
+	r.mb.Put(m)
+}
+
+func (r *dagRun) postTaskEvent(at *attemptState, ev event.Event) {
+	m := taskEventPool.Get().(*msgTaskEvent)
+	m.at, m.ev = at, ev
+	r.mb.Put(m)
 }
 
 type msgInitDone struct {
@@ -330,12 +362,23 @@ func (r *dagRun) start() {
 
 func (r *dagRun) loop() {
 	r.bootstrap()
+	// Drain the mailbox in batches: one lock round-trip per backlog, not
+	// per message. Messages left in the batch after a terminal transition
+	// are dropped, exactly as the old per-message loop left them queued.
+	var batch []amMsg
 	for !r.isFinished() {
-		m, ok := r.mb.Get()
+		var ok bool
+		batch, ok = r.mb.GetAll(batch)
 		if !ok {
 			return
 		}
-		r.dispatch(m)
+		for i, m := range batch {
+			batch[i] = nil
+			r.dispatch(m)
+			if r.isFinished() {
+				break
+			}
+		}
 	}
 	// Terminal: stop background work and release everything still held.
 	close(r.tickerStop)
@@ -355,12 +398,21 @@ func (r *dagRun) loop() {
 
 func (r *dagRun) dispatch(m amMsg) {
 	switch msg := m.(type) {
-	case msgAssigned:
-		r.onAssigned(msg.at, msg.pc)
-	case msgAttemptDone:
-		r.onAttemptDone(msg.at, msg.err)
-	case msgTaskEvent:
-		r.onTaskEvent(msg.at, msg.ev)
+	case *msgAssigned:
+		at, pc := msg.at, msg.pc
+		*msg = msgAssigned{}
+		assignedPool.Put(msg)
+		r.onAssigned(at, pc)
+	case *msgAttemptDone:
+		at, err := msg.at, msg.err
+		*msg = msgAttemptDone{}
+		attemptDonePool.Put(msg)
+		r.onAttemptDone(at, err)
+	case *msgTaskEvent:
+		at, ev := msg.at, msg.ev
+		*msg = msgTaskEvent{}
+		taskEventPool.Put(msg)
+		r.onTaskEvent(at, ev)
 	case msgInitDone:
 		r.onInitDone(msg.vs, msg.source, msg.res, msg.err)
 	case msgCommitDone:

@@ -1,7 +1,6 @@
 package am
 
 import (
-	"sort"
 	"sync"
 	"time"
 
@@ -27,6 +26,50 @@ type taskRequest struct {
 	created   time.Time
 	cancelled bool
 	rmReq     *cluster.ContainerRequest
+
+	// Pending-queue position (guarded by scheduler.mu): the bucket the
+	// request sits in and its absolute slot index within it. bucket is nil
+	// whenever the request is not queued, which makes removal idempotent.
+	bucket *amBucket
+	slot   int
+}
+
+// amBucket is one priority's pending FIFO. Entries are addressed by a
+// stable absolute index (base + position), so a request records where it
+// sits and removal is an O(1) nil-tombstone instead of the old O(R) scan
+// — which ran once per allocation and made a 100k-task DAG O(R²). The
+// head cursor pops over tombstones; compaction slides the live tail down
+// (adjusting base so recorded slots stay valid) once the dead prefix
+// dominates, bounding retained memory the same way mailbox does.
+type amBucket struct {
+	priority int
+	reqs     []*taskRequest
+	head     int // reqs[head:] may be live; reqs[:head] are dead slots
+	base     int // absolute index of reqs[0]
+	live     int // non-tombstone entries in reqs[head:]
+}
+
+// amBucketCompactThreshold matches the mailbox policy: compact when the
+// dead prefix is both large and at least as big as the live tail.
+const amBucketCompactThreshold = 32
+
+func (b *amBucket) maybeCompact() {
+	if b.head == len(b.reqs) {
+		b.base += b.head
+		b.reqs = b.reqs[:0]
+		b.head = 0
+		return
+	}
+	if b.head < amBucketCompactThreshold || b.head < len(b.reqs)-b.head {
+		return
+	}
+	n := copy(b.reqs, b.reqs[b.head:])
+	for i := n; i < len(b.reqs); i++ {
+		b.reqs[i] = nil
+	}
+	b.base += b.head
+	b.reqs = b.reqs[:n]
+	b.head = 0
 }
 
 // pooledContainer couples a launched container with its per-container
@@ -61,13 +104,19 @@ type scheduler struct {
 	now    timeline.Clock    // injectable (Config.Clock)
 	tl     *timeline.Journal // nil-safe event sink
 
-	mu         sync.Mutex
-	idle       []*pooledContainer
-	pending    []*taskRequest
-	held       map[cluster.ContainerID]*pooledContainer
-	stats      schedStats
-	lastAssign time.Time
-	closed     bool
+	mu   sync.Mutex
+	idle []*pooledContainer
+	// pending holds waiting requests in per-priority FIFO buckets; prios
+	// keeps the bucket keys sorted ascending so takePendingLocked pops the
+	// most urgent request without the old per-release stable sort.
+	// livePending counts non-cancelled queued requests across all buckets.
+	pending     map[int]*amBucket
+	prios       []int
+	livePending int
+	held        map[cluster.ContainerID]*pooledContainer
+	stats       schedStats
+	lastAssign  time.Time
+	closed      bool
 
 	// testHookPreRequest, when set, runs after a request has been queued
 	// as pending but before the RM request is issued — a deterministic
@@ -85,7 +134,8 @@ func newScheduler(cfg Config, app *cluster.Application, health *nodeHealth) *sch
 	}
 	return &scheduler{
 		cfg: cfg, app: app, health: health, now: now, tl: cfg.Timeline,
-		held: make(map[cluster.ContainerID]*pooledContainer),
+		pending: make(map[int]*amBucket),
+		held:    make(map[cluster.ContainerID]*pooledContainer),
 	}
 }
 
@@ -122,7 +172,7 @@ func (s *scheduler) enqueue(req *taskRequest) {
 		req.assign(pc)
 		return
 	}
-	s.pending = append(s.pending, req)
+	s.pushPendingLocked(req)
 	rmReq := &cluster.ContainerRequest{
 		Priority:      req.priority,
 		Resource:      s.cfg.ContainerResource,
@@ -311,32 +361,75 @@ func (s *scheduler) onContainerStopped(id cluster.ContainerID) {
 	s.mu.Unlock()
 }
 
-// takePendingLocked pops the most urgent live pending request.
-func (s *scheduler) takePendingLocked() *taskRequest {
-	live := s.pending[:0]
-	for _, r := range s.pending {
-		if !r.cancelled {
-			live = append(live, r)
+// pushPendingLocked appends a request to its priority's FIFO, recording
+// its stable slot for O(1) removal.
+func (s *scheduler) pushPendingLocked(req *taskRequest) {
+	b := s.pending[req.priority]
+	if b == nil {
+		b = &amBucket{priority: req.priority}
+		s.pending[req.priority] = b
+		i := len(s.prios)
+		for i > 0 && s.prios[i-1] > req.priority {
+			i--
 		}
+		s.prios = append(s.prios, 0)
+		copy(s.prios[i+1:], s.prios[i:])
+		s.prios[i] = req.priority
 	}
-	s.pending = live
-	if len(s.pending) == 0 {
-		return nil
-	}
-	sort.SliceStable(s.pending, func(i, j int) bool {
-		return s.pending[i].priority < s.pending[j].priority
-	})
-	req := s.pending[0]
-	s.pending = s.pending[1:]
-	return req
+	req.bucket = b
+	req.slot = b.base + len(b.reqs)
+	b.reqs = append(b.reqs, req)
+	b.live++
+	s.livePending++
 }
 
-func (s *scheduler) removePendingLocked(req *taskRequest) {
-	for i, r := range s.pending {
-		if r == req {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			return
+// takePendingLocked pops the most urgent live pending request: the first
+// non-tombstone entry of the lowest-priority non-empty bucket. FIFO within
+// a bucket preserves the old stable-sort arrival order.
+func (s *scheduler) takePendingLocked() *taskRequest {
+	if s.livePending == 0 {
+		return nil
+	}
+	for _, p := range s.prios {
+		b := s.pending[p]
+		if b.live == 0 {
+			continue
 		}
+		for b.head < len(b.reqs) {
+			req := b.reqs[b.head]
+			b.reqs[b.head] = nil
+			b.head++
+			if req != nil {
+				req.bucket = nil
+				b.live--
+				s.livePending--
+				b.maybeCompact()
+				return req
+			}
+		}
+	}
+	return nil
+}
+
+// removePendingLocked tombstones a queued request in place. A request not
+// currently queued (bucket == nil, or already popped) is a no-op.
+func (s *scheduler) removePendingLocked(req *taskRequest) {
+	b := req.bucket
+	if b == nil {
+		return
+	}
+	i := req.slot - b.base
+	if i < b.head || i >= len(b.reqs) || b.reqs[i] != req {
+		return
+	}
+	b.reqs[i] = nil
+	req.bucket = nil
+	b.live--
+	s.livePending--
+	if b.live == 0 {
+		b.base += len(b.reqs)
+		b.reqs = b.reqs[:0]
+		b.head = 0
 	}
 }
 
@@ -395,16 +488,19 @@ func (s *scheduler) pendingInfo(tag any) (n int, oldest, sinceAssign time.Durati
 		sinceAssign = now.Sub(s.lastAssign)
 	}
 	minPriority = 1 << 30
-	for _, r := range s.pending {
-		if r.cancelled || (tag != nil && r.tag != tag) {
-			continue
-		}
-		n++
-		if age := now.Sub(r.created); age > oldest {
-			oldest = age
-		}
-		if r.priority < minPriority {
-			minPriority = r.priority
+	for _, p := range s.prios {
+		b := s.pending[p]
+		for _, r := range b.reqs[b.head:] {
+			if r == nil || (tag != nil && r.tag != tag) {
+				continue
+			}
+			n++
+			if age := now.Sub(r.created); age > oldest {
+				oldest = age
+			}
+			if r.priority < minPriority {
+				minPriority = r.priority
+			}
 		}
 	}
 	return n, oldest, sinceAssign, minPriority
@@ -442,7 +538,18 @@ func (s *scheduler) close() {
 	s.closed = true
 	idle := s.idle
 	s.idle = nil
-	s.pending = nil
+	// Detach queued requests so a straggling cancel's removal is a no-op
+	// against the dropped buckets.
+	for _, b := range s.pending {
+		for _, r := range b.reqs[b.head:] {
+			if r != nil {
+				r.bucket = nil
+			}
+		}
+	}
+	s.pending = make(map[int]*amBucket)
+	s.prios = nil
+	s.livePending = 0
 	s.mu.Unlock()
 	for _, pc := range idle {
 		s.app.Release(pc.c)

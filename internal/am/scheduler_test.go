@@ -51,7 +51,7 @@ func TestSchedulerCancelDuringSubmitWithdrawsRequest(t *testing.T) {
 		t.Fatalf("request cancelled mid-submit leaked: %d pending at RM", n)
 	}
 	sched.mu.Lock()
-	pending := len(sched.pending)
+	pending := sched.livePending
 	sched.mu.Unlock()
 	if pending != 0 {
 		t.Fatalf("scheduler still tracks %d pending requests", pending)

@@ -58,25 +58,32 @@ func NewSession(plat *platform.Platform, cfg Config) *Session {
 // active DAG runs.
 func (s *Session) drainClusterEvents() {
 	defer s.wg.Done()
+	// Batch drain: the RM delivers a scheduling pass's grants as one
+	// PutAll, so pick them all up with one lock round-trip too.
+	var batch []cluster.Event
 	for {
-		ev, ok := s.app.Events().Get()
+		var ok bool
+		batch, ok = s.app.Events().GetAll(batch)
 		if !ok {
 			return
 		}
-		switch e := ev.(type) {
-		case cluster.AllocatedEvent:
-			s.sched.onAllocated(e.Container, e.Request)
-		case cluster.ContainerStoppedEvent:
-			s.sched.onContainerStopped(e.ContainerID)
-		case cluster.NodeFailedEvent:
-			s.mu.Lock()
-			runs := make([]*dagRun, 0, len(s.active))
-			for _, r := range s.active {
-				runs = append(runs, r)
-			}
-			s.mu.Unlock()
-			for _, r := range runs {
-				r.mb.Put(msgNodeFailed{node: e.Node, planned: e.Decommissioned})
+		for i, ev := range batch {
+			batch[i] = nil
+			switch e := ev.(type) {
+			case cluster.AllocatedEvent:
+				s.sched.onAllocated(e.Container, e.Request)
+			case cluster.ContainerStoppedEvent:
+				s.sched.onContainerStopped(e.ContainerID)
+			case cluster.NodeFailedEvent:
+				s.mu.Lock()
+				runs := make([]*dagRun, 0, len(s.active))
+				for _, r := range s.active {
+					runs = append(runs, r)
+				}
+				s.mu.Unlock()
+				for _, r := range runs {
+					r.mb.Put(msgNodeFailed{node: e.Node, planned: e.Decommissioned})
+				}
 			}
 		}
 	}

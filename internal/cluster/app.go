@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"tez/internal/mailbox"
 )
@@ -21,10 +22,17 @@ type ContainerRequest struct {
 	Exclude []NodeID
 	Cookie  any
 
-	// Scheduling opportunities missed at each level (delay scheduling).
-	missedNode int
+	// state is the request lifecycle (see queues.go): staged → queued →
+	// allocated | cancelled, with CAS transitions so cancel and allocate
+	// are mutually exclusive.
+	state atomic.Int32
+
+	// Everything below is owned by the RM once the request is ingested
+	// and is only touched under rm.mu.
+	owner      *Application
+	settled    bool // queuedLive accounting done (exactly-once)
+	missedNode int  // scheduling opportunities missed (delay scheduling)
 	missedRack int
-	cancelled  bool
 }
 
 // Application is an AM's handle onto the resource manager. All
@@ -37,44 +45,64 @@ type Application struct {
 	events *mailbox.Mailbox[Event]
 
 	mu         sync.Mutex
-	pending    []*ContainerRequest
+	staged     []*ContainerRequest // new requests; RM drains in batch per pass
 	containers map[ContainerID]*Container
 	allocated  Resource
 	finished   bool
+
+	// sched is RM-owned scheduling state, guarded by rm.mu (not a.mu).
+	sched appSched
 }
 
 // Events returns the mailbox carrying RM→AM notifications.
 func (a *Application) Events() *mailbox.Mailbox[Event] { return a.events }
 
-// Request enqueues container requests; the scheduler services them on its
-// next heartbeat.
+// Request enqueues container requests; the scheduler ingests the staged
+// batch on its next heartbeat. Requests stay app-owned (a.mu) until then,
+// so the caller never contends with a scheduling pass.
 func (a *Application) Request(reqs ...*ContainerRequest) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.finished {
 		return
 	}
-	a.pending = append(a.pending, reqs...)
+	a.staged = append(a.staged, reqs...)
 }
 
 // Cancel withdraws a pending request. Cancelling an already-satisfied or
-// unknown request is a no-op.
+// unknown request is a no-op. The CAS guarantees a request is never both
+// cancelled and allocated: whichever transition wins, the other side
+// observes it and backs off.
 func (a *Application) Cancel(req *ContainerRequest) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	req.cancelled = true
+	if req.state.CompareAndSwap(reqStaged, reqCancelled) {
+		return // dropped at ingestion
+	}
+	if req.state.CompareAndSwap(reqQueued, reqCancelled) {
+		// RM-owned by now: settle the pending count eagerly so
+		// PendingRequests reflects the cancellation immediately. The
+		// bucket entry itself is pruned lazily by the next pass walk.
+		a.rm.mu.Lock()
+		a.rm.settleLocked(req)
+		a.rm.mu.Unlock()
+	}
+	// Allocated or already cancelled: no-op.
 }
 
-// PendingRequests returns the number of outstanding container requests.
+// PendingRequests returns the number of outstanding (non-cancelled)
+// container requests, staged plus queued. Both locks are held together
+// (rm.mu → a.mu is the package lock order) so the snapshot is consistent
+// with a concurrent ingest.
 func (a *Application) PendingRequests() int {
+	a.rm.mu.Lock()
+	defer a.rm.mu.Unlock()
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	n := 0
-	for _, r := range a.pending {
-		if !r.cancelled {
+	n := a.sched.queuedLive
+	for _, r := range a.staged {
+		if r.state.Load() == reqStaged {
 			n++
 		}
 	}
+	a.mu.Unlock()
 	return n
 }
 
@@ -107,7 +135,7 @@ func (a *Application) Unregister() {
 		return
 	}
 	a.finished = true
-	a.pending = nil
+	a.staged = nil
 	var held []*Container
 	for _, c := range a.containers {
 		held = append(held, c)
@@ -117,15 +145,18 @@ func (a *Application) Unregister() {
 		a.rm.stopContainer(c, StopReleased, false)
 	}
 	a.events.Close()
-	a.rm.removeApp(a.ID)
+	a.rm.removeApp(a)
 }
 
-// removeContainerLocked detaches a container from the app's accounting.
-func (a *Application) removeContainer(c *Container) {
+// removeContainer detaches a container from the app's accounting,
+// reporting whether it was still attached.
+func (a *Application) removeContainer(c *Container) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if _, ok := a.containers[c.ID]; ok {
-		delete(a.containers, c.ID)
-		a.allocated = a.allocated.Sub(c.Resource)
+	if _, ok := a.containers[c.ID]; !ok {
+		return false
 	}
+	delete(a.containers, c.ID)
+	a.allocated = a.allocated.Sub(c.Resource)
+	return true
 }

@@ -156,6 +156,13 @@ type Node struct {
 	used       Resource
 	live       bool
 	containers map[ContainerID]*Container
+
+	// Scheduler state, guarded by rm.mu (see shards.go): a mirror of the
+	// free capacity plus the node's position in its rack shard, so
+	// placement never takes n.mu. shard is nil while the node is down.
+	schedAvail Resource
+	shard      *rackShard
+	shardIdx   int
 }
 
 // Available returns the node's free capacity.

@@ -1,0 +1,142 @@
+package cluster
+
+// RM-owned request queues and the incrementally-maintained fairness
+// order. The old scheduler copied and stable-sorted every app's pending
+// slice on every pass (O(R log R) per grant) and stable-sorted the app
+// list by current allocation (another per-pass sort); at 100k outstanding
+// requests those sorts were the control plane's floor. Both orders are
+// now maintained incrementally:
+//
+//   - per app, requests live in per-priority FIFO buckets (arrival order
+//     within a priority == the old stable sort by Priority);
+//   - apps live in rm.schedApps sorted by (allocated memory asc,
+//     submission seq asc) == the old stable most-starved-first sort, with
+//     the position repaired by a local bubble whenever an app's
+//     allocation changes.
+//
+// Request lifecycle is an atomic state machine:
+//
+//	staged --(ingest)--> queued --(grant)--> allocated
+//	   \                    \
+//	    +----(cancel)--------+--> cancelled
+//
+// Staged requests belong to the application (a.mu); queued requests
+// belong to the RM (rm.mu). Cancel uses CAS so that a request can win
+// exactly one terminal transition — cancelled and allocated are mutually
+// exclusive by construction, where the old code could allocate a request
+// that was concurrently cancelled. missedNode/missedRack are only ever
+// touched under rm.mu after ingestion, fixing the old split-brain where
+// place() mutated them under rm.mu while the app compacted the same
+// request under a.mu.
+const (
+	reqStaged int32 = iota
+	reqQueued
+	reqAllocated
+	reqCancelled
+)
+
+// appSched is an application's scheduling state, owned by the RM and
+// guarded by rm.mu.
+type appSched struct {
+	seq        int // submission order; fairness tiebreak
+	pos        int // index in rm.schedApps
+	allocMB    int // mirror of a.allocated.MemoryMB for ordering
+	queuedLive int // queued, non-cancelled, not yet granted
+	buckets    map[int]*reqBucket
+	prios      []int // sorted bucket keys
+}
+
+// reqBucket is one priority's FIFO. The pass walk compacts cancelled and
+// granted entries in place, so no separate head cursor is needed.
+type reqBucket struct {
+	reqs []*ContainerRequest
+}
+
+// bucketLocked returns (creating if needed) the app's bucket for prio,
+// keeping prios sorted. Caller holds rm.mu.
+func (as *appSched) bucketLocked(prio int) *reqBucket {
+	if q, ok := as.buckets[prio]; ok {
+		return q
+	}
+	if as.buckets == nil {
+		as.buckets = make(map[int]*reqBucket)
+	}
+	q := &reqBucket{}
+	as.buckets[prio] = q
+	i := len(as.prios)
+	for i > 0 && as.prios[i-1] > prio {
+		i--
+	}
+	as.prios = append(as.prios, 0)
+	copy(as.prios[i+1:], as.prios[i:])
+	as.prios[i] = prio
+	return q
+}
+
+// settleLocked accounts exactly once for a request leaving the live
+// queue (granted, cancelled, or dropped). Caller holds rm.mu.
+func (rm *ResourceManager) settleLocked(req *ContainerRequest) {
+	if req.settled || req.owner == nil {
+		return
+	}
+	req.settled = true
+	req.owner.sched.queuedLive--
+}
+
+// appLess is the fairness order: least allocated first, submission order
+// as the stable tiebreak.
+func appLess(a, b *Application) bool {
+	if a.sched.allocMB != b.sched.allocMB {
+		return a.sched.allocMB < b.sched.allocMB
+	}
+	return a.sched.seq < b.sched.seq
+}
+
+// insertAppLocked adds a to the fairness order. Caller holds rm.mu.
+func (rm *ResourceManager) insertAppLocked(a *Application) {
+	i := len(rm.schedApps)
+	for i > 0 && appLess(a, rm.schedApps[i-1]) {
+		i--
+	}
+	rm.schedApps = append(rm.schedApps, nil)
+	copy(rm.schedApps[i+1:], rm.schedApps[i:])
+	rm.schedApps[i] = a
+	for ; i < len(rm.schedApps); i++ {
+		rm.schedApps[i].sched.pos = i
+	}
+}
+
+// removeAppLocked drops a from the fairness order. Caller holds rm.mu.
+func (rm *ResourceManager) removeAppLocked(a *Application) {
+	i := a.sched.pos
+	if i >= len(rm.schedApps) || rm.schedApps[i] != a {
+		return
+	}
+	copy(rm.schedApps[i:], rm.schedApps[i+1:])
+	rm.schedApps = rm.schedApps[:len(rm.schedApps)-1]
+	for ; i < len(rm.schedApps); i++ {
+		rm.schedApps[i].sched.pos = i
+	}
+}
+
+// appAllocChangedLocked applies a memory delta to the app's fairness key
+// and bubbles it back to its sorted position. Caller holds rm.mu.
+func (rm *ResourceManager) appAllocChangedLocked(a *Application, deltaMB int) {
+	a.sched.allocMB += deltaMB
+	i := a.sched.pos
+	if i >= len(rm.schedApps) || rm.schedApps[i] != a {
+		return
+	}
+	for i > 0 && appLess(a, rm.schedApps[i-1]) {
+		rm.schedApps[i] = rm.schedApps[i-1]
+		rm.schedApps[i].sched.pos = i
+		i--
+	}
+	for i < len(rm.schedApps)-1 && appLess(rm.schedApps[i+1], a) {
+		rm.schedApps[i] = rm.schedApps[i+1]
+		rm.schedApps[i].sched.pos = i
+		i++
+	}
+	rm.schedApps[i] = a
+	a.sched.pos = i
+}

@@ -13,14 +13,28 @@ import (
 // ResourceManager is the cluster-wide allocator: the stand-in for the YARN
 // RM. It owns the nodes, runs the scheduling heartbeat, and notifies
 // applications through their event mailboxes.
+//
+// Lock order: rm.mu → a.mu → n.mu (c.mu is only ever taken alone). A
+// scheduling pass holds rm.mu end to end and works against the rack-
+// sharded node index (shards.go) and the per-app request buckets
+// (queues.go); allocation events are delivered in batches after rm.mu is
+// released.
 type ResourceManager struct {
 	cfg Config
 
-	mu       sync.Mutex
-	nodes    map[NodeID]*Node
-	nodeList []*Node // stable order for deterministic scheduling
-	apps     map[AppID]*Application
-	appOrder []AppID // submission order
+	mu        sync.Mutex
+	nodes     map[NodeID]*Node
+	nodeList  []*Node // stable order for deterministic iteration
+	shards    map[string]*rackShard
+	shardList []*rackShard // stable rack order for deterministic placement
+	apps      map[AppID]*Application
+	appOrder  []AppID        // submission order
+	schedApps []*Application // fairness order, incrementally maintained
+
+	// Cluster-wide capacity mirrors, kept in sync by the charge/uncharge
+	// helpers so Total/UsedResources are O(1) instead of O(nodes).
+	capTotal  Resource // live nodes' capacity
+	usedTotal Resource // allocated across all nodes
 
 	nextContainer ContainerID
 	nextApp       AppID
@@ -38,6 +52,7 @@ func New(cfg Config) *ResourceManager {
 	rm := &ResourceManager{
 		cfg:    cfg,
 		nodes:  make(map[NodeID]*Node),
+		shards: make(map[string]*rackShard),
 		apps:   make(map[AppID]*Application),
 		stopCh: make(chan struct{}),
 	}
@@ -48,9 +63,18 @@ func New(cfg Config) *ResourceManager {
 			capacity:   cfg.NodeResource,
 			live:       true,
 			containers: make(map[ContainerID]*Container),
+			schedAvail: cfg.NodeResource,
 		}
 		rm.nodes[n.ID] = n
 		rm.nodeList = append(rm.nodeList, n)
+		s, ok := rm.shards[n.Rack]
+		if !ok {
+			s = &rackShard{rack: n.Rack}
+			rm.shards[n.Rack] = s
+			rm.shardList = append(rm.shardList, s)
+		}
+		s.insert(n)
+		rm.capTotal = rm.capTotal.Add(n.capacity)
 	}
 	rm.wg.Add(1)
 	go rm.loop()
@@ -92,28 +116,14 @@ func (rm *ResourceManager) RackOf(id NodeID) string {
 func (rm *ResourceManager) TotalResources() Resource {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
-	var t Resource
-	for _, n := range rm.nodeList {
-		n.mu.Lock()
-		if n.live {
-			t = t.Add(n.capacity)
-		}
-		n.mu.Unlock()
-	}
-	return t
+	return rm.capTotal
 }
 
 // UsedResources returns currently allocated resources across the cluster.
 func (rm *ResourceManager) UsedResources() Resource {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
-	var t Resource
-	for _, n := range rm.nodeList {
-		n.mu.Lock()
-		t = t.Add(n.used)
-		n.mu.Unlock()
-	}
-	return t
+	return rm.usedTotal
 }
 
 // AllocatedByApp snapshots per-application holdings (for utilisation
@@ -144,15 +154,24 @@ func (rm *ResourceManager) Submit(name string) *Application {
 		events:     mailbox.New[Event](),
 		containers: make(map[ContainerID]*Container),
 	}
+	a.sched.seq = int(rm.nextApp)
 	rm.apps[a.ID] = a
 	rm.appOrder = append(rm.appOrder, a.ID)
+	rm.insertAppLocked(a)
 	return a
 }
 
-func (rm *ResourceManager) removeApp(id AppID) {
+func (rm *ResourceManager) removeApp(a *Application) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
-	delete(rm.apps, id)
+	delete(rm.apps, a.ID)
+	rm.removeAppLocked(a)
+	for i, id := range rm.appOrder {
+		if id == a.ID {
+			rm.appOrder = append(rm.appOrder[:i], rm.appOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // FailNode simulates losing a machine: its containers are killed with
@@ -176,20 +195,40 @@ func (rm *ResourceManager) failNode(id NodeID, planned bool) {
 		return
 	}
 	n.mu.Lock()
+	alreadyDown := !n.live
 	n.live = false
 	victims := make([]*Container, 0, len(n.containers))
 	for _, c := range n.containers {
 		victims = append(victims, c)
 	}
 	n.mu.Unlock()
+	if !alreadyDown {
+		rm.capTotal = rm.capTotal.Sub(n.capacity)
+	}
+	if n.shard != nil {
+		n.shard.remove(n)
+	}
 	apps := make([]*Application, 0, len(rm.apps))
-	for _, a := range rm.apps {
-		apps = append(apps, a)
+	for _, id := range rm.appOrder {
+		if a, ok := rm.apps[id]; ok {
+			apps = append(apps, a)
+		}
 	}
 	rm.mu.Unlock()
 
+	// Tear the victims down, batching each owner's stop notifications
+	// with the node-failed event: one mailbox wake-up per application.
+	byApp := make(map[*Application][]Event)
 	for _, c := range victims {
-		rm.stopContainer(c, StopNodeLost, true)
+		app, stopped := rm.stopContainerQuiet(c, StopNodeLost)
+		if app == nil || !stopped {
+			continue
+		}
+		rm.cfg.Timeline.Record(timeline.Event{
+			Type: timeline.ContainerStopped,
+			Node: string(id), Container: int64(c.ID), Info: StopNodeLost.String(),
+		})
+		byApp[app] = append(byApp[app], ContainerStoppedEvent{ContainerID: c.ID, Node: id, Reason: StopNodeLost})
 	}
 	typ := timeline.NodeFailed
 	if planned {
@@ -197,21 +236,55 @@ func (rm *ResourceManager) failNode(id NodeID, planned bool) {
 	}
 	rm.cfg.Timeline.Record(timeline.Event{Type: typ, Node: string(id)})
 	for _, a := range apps {
-		a.events.Put(NodeFailedEvent{Node: id, Decommissioned: planned})
+		evs := append(byApp[a], NodeFailedEvent{Node: id, Decommissioned: planned})
+		a.events.PutAll(evs)
 	}
 }
 
-// RestoreNode brings a failed node back (empty).
+// RestoreNode brings a failed node back (empty). Containers that were
+// still registered on the node — possible when the restore races the
+// failure's own teardown — are stopped and their owners notified before
+// the node re-enters the placement index, so resources can never be
+// double-counted and owners never silently lose a live handle. Restoring
+// a live node is a no-op.
 func (rm *ResourceManager) RestoreNode(id NodeID) {
 	rm.mu.Lock()
-	defer rm.mu.Unlock()
-	if n, ok := rm.nodes[id]; ok {
-		n.mu.Lock()
-		n.live = true
-		n.used = Resource{}
-		n.containers = make(map[ContainerID]*Container)
-		n.mu.Unlock()
+	n, ok := rm.nodes[id]
+	if !ok || n.shard != nil {
+		rm.mu.Unlock()
+		return
 	}
+	n.mu.Lock()
+	if n.live {
+		// Down nodes are out of the shard index and marked !live; a live
+		// node outside a shard cannot happen.
+		n.mu.Unlock()
+		rm.mu.Unlock()
+		return
+	}
+	stragglers := make([]*Container, 0, len(n.containers))
+	for _, c := range n.containers {
+		stragglers = append(stragglers, c)
+	}
+	n.mu.Unlock()
+	rm.mu.Unlock()
+
+	for _, c := range stragglers {
+		rm.stopContainer(c, StopNodeLost, true)
+	}
+
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if n.shard != nil {
+		return // raced with another restore
+	}
+	n.mu.Lock()
+	n.live = true
+	n.used = Resource{}
+	n.mu.Unlock()
+	rm.capTotal = rm.capTotal.Add(n.capacity)
+	n.schedAvail = n.capacity
+	rm.shards[n.Rack].insert(n)
 }
 
 // stopContainer tears a container down for the given reason, returning its
@@ -219,36 +292,39 @@ func (rm *ResourceManager) RestoreNode(id NodeID) {
 // ContainerStoppedEvent (involuntary stops only; an app that called Release
 // already knows).
 func (rm *ResourceManager) stopContainer(c *Container, reason StopReason, notify bool) {
+	app, stopped := rm.stopContainerQuiet(c, reason)
+	if app == nil || !stopped || !notify {
+		return
+	}
+	rm.cfg.Timeline.Record(timeline.Event{
+		Type: timeline.ContainerStopped,
+		Node: string(c.node.ID), Container: int64(c.ID), Info: reason.String(),
+	})
+	app.events.Put(ContainerStoppedEvent{ContainerID: c.ID, Node: c.node.ID, Reason: reason})
+}
+
+// stopContainerQuiet does the teardown without notifying, so callers with
+// many victims (node failure) can batch the events. It returns the owning
+// application and whether this call was the one that stopped the
+// container (stops are exactly-once).
+func (rm *ResourceManager) stopContainerQuiet(c *Container, reason StopReason) (*Application, bool) {
 	c.mu.Lock()
 	if c.released {
 		c.mu.Unlock()
-		return
+		return nil, false
 	}
 	c.released = true
 	close(c.stop)
 	c.mu.Unlock()
 
-	n := c.node
-	n.mu.Lock()
-	if _, ok := n.containers[c.ID]; ok {
-		delete(n.containers, c.ID)
-		n.used = n.used.Sub(c.Resource)
-	}
-	n.mu.Unlock()
-
 	rm.mu.Lock()
+	rm.unchargeNodeLocked(c.node, c)
 	app := rm.apps[c.App]
-	rm.mu.Unlock()
-	if app != nil {
-		app.removeContainer(c)
-		if notify {
-			rm.cfg.Timeline.Record(timeline.Event{
-				Type: timeline.ContainerStopped,
-				Node: string(n.ID), Container: int64(c.ID), Info: reason.String(),
-			})
-			app.events.Put(ContainerStoppedEvent{ContainerID: c.ID, Node: n.ID, Reason: reason})
-		}
+	if app != nil && app.removeContainer(c) {
+		rm.appAllocChangedLocked(app, -c.Resource.MemoryMB)
 	}
+	rm.mu.Unlock()
+	return app, true
 }
 
 // ScheduleNow forces an immediate scheduling pass (deterministic tests).
@@ -271,82 +347,153 @@ func (rm *ResourceManager) loop() {
 	}
 }
 
+// grant is one allocation decision, recorded during a pass and delivered
+// after rm.mu is released.
+type grant struct {
+	app *Application
+	ev  Event
+}
+
 // scheduleOnce runs allocation passes until no progress: each pass orders
 // applications most-starved-first and grants each at most one container,
-// which approximates YARN fair scheduling.
+// which approximates YARN fair scheduling. Allocation events accumulate
+// per application across the passes and are delivered with one batched
+// mailbox wake-up per app.
 func (rm *ResourceManager) scheduleOnce() {
+	var byApp map[*Application][]Event
+	var order []*Application
+	var grants []grant
 	for {
-		if !rm.schedulePass() {
-			return
+		order, grants = rm.schedulePass(order, grants[:0])
+		if len(grants) == 0 {
+			break
 		}
+		if byApp == nil {
+			byApp = make(map[*Application][]Event)
+		}
+		for _, g := range grants {
+			byApp[g.app] = append(byApp[g.app], g.ev)
+		}
+	}
+	for a, evs := range byApp {
+		a.events.PutAll(evs)
 	}
 }
 
-func (rm *ResourceManager) schedulePass() bool {
+// schedulePass runs one fair-sharing pass under rm.mu: ingest staged
+// requests, then walk the incrementally-sorted starvation order giving
+// each application at most one grant. The scratch slices are reused
+// across passes.
+func (rm *ResourceManager) schedulePass(order []*Application, grants []grant) ([]*Application, []grant) {
 	rm.mu.Lock()
-	apps := make([]*Application, 0, len(rm.apps))
-	for _, id := range rm.appOrder {
-		if a, ok := rm.apps[id]; ok {
-			apps = append(apps, a)
+	rm.ingestLocked()
+	// Snapshot the fairness order: grants made during the pass reposition
+	// apps immediately, but (as with the old per-pass sort) the pass
+	// processes the order fixed at its start.
+	order = append(order[:0], rm.schedApps...)
+	for _, a := range order {
+		if ev, ok := rm.scheduleOneForLocked(a); ok {
+			grants = append(grants, grant{app: a, ev: ev})
 		}
 	}
 	rm.mu.Unlock()
-
-	sort.SliceStable(apps, func(i, j int) bool {
-		return apps[i].Allocated().MemoryMB < apps[j].Allocated().MemoryMB
-	})
-
-	progress := false
-	for _, a := range apps {
-		if rm.scheduleOneFor(a) {
-			progress = true
-		}
-	}
-	return progress
+	return order, grants
 }
 
-// scheduleOneFor grants at most one container to app a, honouring request
-// priority order and delay scheduling. It reports whether it allocated.
-func (rm *ResourceManager) scheduleOneFor(a *Application) bool {
-	a.mu.Lock()
-	if a.finished {
-		a.mu.Unlock()
-		return false
-	}
-	// Compact cancelled requests and order by priority, stable on arrival.
-	live := a.pending[:0]
-	for _, r := range a.pending {
-		if !r.cancelled {
-			live = append(live, r)
-		}
-	}
-	a.pending = live
-	reqs := make([]*ContainerRequest, len(a.pending))
-	copy(reqs, a.pending)
-	a.mu.Unlock()
-	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Priority < reqs[j].Priority })
-
-	for _, req := range reqs {
-		node, loc, ok := rm.place(req)
+// ingestLocked drains every application's staged requests into the RM's
+// priority buckets — the batched request-delivery half of the heartbeat.
+// Caller holds rm.mu.
+func (rm *ResourceManager) ingestLocked() {
+	for _, id := range rm.appOrder {
+		a, ok := rm.apps[id]
 		if !ok {
 			continue
 		}
-		c := rm.allocate(a, req, node, loc)
-		if c == nil {
-			continue
+		a.mu.Lock()
+		var batch []*ContainerRequest
+		if len(a.staged) > 0 && !a.finished {
+			batch = a.staged
+			a.staged = nil
 		}
-		a.events.Put(AllocatedEvent{Container: c, Request: req})
-		return true
+		a.mu.Unlock()
+		for _, req := range batch {
+			req.owner = a
+			if !req.state.CompareAndSwap(reqStaged, reqQueued) {
+				continue // cancelled while staged
+			}
+			q := a.sched.bucketLocked(req.Priority)
+			q.reqs = append(q.reqs, req)
+			a.sched.queuedLive++
+		}
 	}
-	return false
 }
 
-// place picks a node for the request per delay scheduling, or reports that
-// the request must wait this round.
-func (rm *ResourceManager) place(req *ContainerRequest) (*Node, Locality, bool) {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
+// scheduleOneForLocked grants at most one container to app a, honouring
+// request priority order (bucket order, FIFO within a bucket — the old
+// stable sort) and delay scheduling. Cancelled requests encountered
+// during the walk are pruned in place. Caller holds rm.mu.
+func (rm *ResourceManager) scheduleOneForLocked(a *Application) (Event, bool) {
+	var ev Event
+	granted := false
+	for _, p := range a.sched.prios {
+		q := a.sched.buckets[p]
+		if len(q.reqs) == 0 {
+			continue
+		}
+		w := 0
+		for r := 0; r < len(q.reqs); r++ {
+			req := q.reqs[r]
+			if granted {
+				q.reqs[w] = req
+				w++
+				continue
+			}
+			switch req.state.Load() {
+			case reqCancelled:
+				rm.settleLocked(req) // no-op if Cancel already settled
+				continue             // prune
+			case reqQueued:
+				n, loc, ok := rm.placeLocked(req)
+				if !ok {
+					q.reqs[w] = req
+					w++
+					continue
+				}
+				c := rm.commitLocked(a, req, n, loc)
+				if c == nil {
+					// Lost to a concurrent cancel (settled, prune) or
+					// the app finished (request kept, moot).
+					if req.state.Load() == reqQueued {
+						q.reqs[w] = req
+						w++
+					} else {
+						rm.settleLocked(req)
+					}
+					continue
+				}
+				rm.settleLocked(req)
+				ev = AllocatedEvent{Container: c, Request: req}
+				granted = true
+			default:
+				// Allocated entries never stay queued; drop defensively.
+			}
+		}
+		for i := w; i < len(q.reqs); i++ {
+			q.reqs[i] = nil // release for GC
+		}
+		q.reqs = q.reqs[:w]
+		if granted {
+			break
+		}
+	}
+	return ev, granted
+}
 
+// placeLocked picks a node for the request per delay scheduling, or
+// reports that the request must wait this round. It consults only the
+// sharded index and the schedAvail mirrors — no node locks. Caller holds
+// rm.mu.
+func (rm *ResourceManager) placeLocked(req *ContainerRequest) (*Node, Locality, bool) {
 	var excluded map[NodeID]bool
 	if len(req.Exclude) > 0 {
 		excluded = make(map[NodeID]bool, len(req.Exclude))
@@ -355,12 +502,7 @@ func (rm *ResourceManager) place(req *ContainerRequest) (*Node, Locality, bool) 
 		}
 	}
 	fits := func(n *Node) bool {
-		if excluded[n.ID] {
-			return false
-		}
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		return n.live && req.Resource.FitsIn(n.capacity.Sub(n.used))
+		return n.shard != nil && req.Resource.FitsIn(n.schedAvail) && !excluded[n.ID]
 	}
 
 	hasNodePref := len(req.Nodes) > 0
@@ -384,20 +526,34 @@ func (rm *ResourceManager) place(req *ContainerRequest) (*Node, Locality, bool) 
 		}
 	}
 
-	// Rack-local: preferred racks plus the racks of preferred nodes.
+	// Rack-local: preferred racks plus the racks of preferred nodes,
+	// checked one shard head at a time. The candidate rack lists are tiny,
+	// so duplicates are weeded with a linear scan, not a map.
 	if hasRackPref {
-		racks := map[string]bool{}
-		for _, r := range req.Racks {
-			racks[r] = true
-		}
+		var rackBuf [8]string
+		racks := append(rackBuf[:0], req.Racks...)
 		for _, id := range req.Nodes {
 			if n, ok := rm.nodes[id]; ok {
-				racks[n.Rack] = true
+				racks = append(racks, n.Rack)
 			}
 		}
 		var best *Node
-		for _, n := range rm.nodeList {
-			if racks[n.Rack] && fits(n) && (best == nil || moreAvailable(n, best)) {
+		for i, r := range racks {
+			dup := false
+			for _, prev := range racks[:i] {
+				if prev == r {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			s, ok := rm.shards[r]
+			if !ok {
+				continue
+			}
+			if n := s.best(req.Resource, excluded); n != nil && (best == nil || nodeLess(n, best)) {
 				best = n
 			}
 		}
@@ -415,41 +571,31 @@ func (rm *ResourceManager) place(req *ContainerRequest) (*Node, Locality, bool) 
 		}
 	}
 
-	// Anywhere: least-loaded live node that fits.
+	// Anywhere: least-loaded live node that fits, one candidate per rack.
 	var best *Node
-	for _, n := range rm.nodeList {
-		if fits(n) && (best == nil || moreAvailable(n, best)) {
+	for _, s := range rm.shardList {
+		if n := s.best(req.Resource, excluded); n != nil && (best == nil || nodeLess(n, best)) {
 			best = n
 		}
 	}
 	if best != nil {
-		loc := LocalityAny
-		if !hasNodePref && !hasRackPref {
-			loc = LocalityAny
-		}
-		return best, loc, true
+		return best, LocalityAny, true
 	}
 	return nil, 0, false
 }
 
-func moreAvailable(a, b *Node) bool {
-	aa, ba := a.Available(), b.Available()
-	if aa.MemoryMB != ba.MemoryMB {
-		return aa.MemoryMB > ba.MemoryMB
+// commitLocked finalises a placement: wins the request's allocate-vs-
+// cancel race, charges the node, and registers the container with the
+// app. It returns nil if the request was concurrently cancelled (state
+// left reqCancelled) or the app finished (state restored to reqQueued).
+// Caller holds rm.mu.
+func (rm *ResourceManager) commitLocked(a *Application, req *ContainerRequest, n *Node, loc Locality) *Container {
+	if !req.state.CompareAndSwap(reqQueued, reqAllocated) {
+		return nil // cancelled won
 	}
-	return a.ID < b.ID
-}
-
-// allocate commits the placement: charges the node, registers the
-// container with the app, and removes the satisfied request.
-func (rm *ResourceManager) allocate(a *Application, req *ContainerRequest, n *Node, loc Locality) *Container {
-	rm.mu.Lock()
 	rm.nextContainer++
-	cid := rm.nextContainer
-	rm.mu.Unlock()
-
 	c := &Container{
-		ID:        cid,
+		ID:        rm.nextContainer,
 		App:       a.ID,
 		Resource:  req.Resource,
 		Locality:  loc,
@@ -458,35 +604,19 @@ func (rm *ResourceManager) allocate(a *Application, req *ContainerRequest, n *No
 		stop:      make(chan struct{}),
 		allocTime: time.Now(),
 	}
-
-	n.mu.Lock()
-	if !n.live || !req.Resource.FitsIn(n.capacity.Sub(n.used)) {
-		n.mu.Unlock()
-		return nil
-	}
-	n.used = n.used.Add(req.Resource)
-	n.containers[c.ID] = c
-	n.mu.Unlock()
+	rm.chargeNodeLocked(n, c)
 
 	a.mu.Lock()
 	if a.finished {
 		a.mu.Unlock()
-		n.mu.Lock()
-		delete(n.containers, c.ID)
-		n.used = n.used.Sub(req.Resource)
-		n.mu.Unlock()
+		rm.unchargeNodeLocked(n, c)
+		req.state.Store(reqQueued) // roll back; the app is going away
 		return nil
-	}
-	// Remove the satisfied request from pending.
-	for i, r := range a.pending {
-		if r == req {
-			a.pending = append(a.pending[:i], a.pending[i+1:]...)
-			break
-		}
 	}
 	a.containers[c.ID] = c
 	a.allocated = a.allocated.Add(req.Resource)
 	a.mu.Unlock()
+	rm.appAllocChangedLocked(a, req.Resource.MemoryMB)
 	rm.cfg.Timeline.Record(timeline.Event{
 		Type: timeline.ContainerAllocated,
 		Node: string(n.ID), Container: int64(c.ID), Info: loc.String(),
@@ -511,6 +641,7 @@ func (rm *ResourceManager) maybePreempt() {
 			apps = append(apps, a)
 		}
 	}
+	totalMem := rm.capTotal.MemoryMB
 	rm.mu.Unlock()
 
 	type state struct {
@@ -520,7 +651,6 @@ func (rm *ResourceManager) maybePreempt() {
 	}
 	var states []state
 	active := 0
-	totalMem := rm.TotalResources().MemoryMB
 	for _, a := range apps {
 		s := state{app: a, held: a.Allocated().MemoryMB, pending: a.PendingRequests()}
 		if s.held > 0 || s.pending > 0 {

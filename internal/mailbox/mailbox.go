@@ -8,12 +8,24 @@ package mailbox
 import "sync"
 
 // Mailbox is an unbounded FIFO of T. The zero value is NOT ready; use New.
+//
+// The queue is a slice with a head cursor: Get advances head instead of
+// re-slicing, so popped slots are released (zeroed) immediately and the
+// backing array is compacted once the dead prefix dominates — a long-lived
+// mailbox retains O(backlog) memory, not O(total ever enqueued).
 type Mailbox[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []T
+	head   int // items[head:] are live; items[:head] are zeroed dead slots
 	closed bool
 }
+
+// compactThreshold is the dead-prefix size past which the live tail is
+// copied down and the cursor reset. Compaction also requires the dead
+// prefix to outweigh the live tail, so a deep steady-state backlog is not
+// repeatedly memmoved.
+const compactThreshold = 32
 
 // New returns an empty, open mailbox.
 func New[T any]() *Mailbox[T] {
@@ -35,41 +47,107 @@ func (m *Mailbox[T]) Put(v T) {
 	m.cond.Signal()
 }
 
+// PutAll enqueues every element of vs under a single lock acquisition and
+// wakes the consumer once — batched event delivery for producers that emit
+// in waves (scheduler passes, movement replay). A nil/empty slice and a
+// closed mailbox are no-ops. The mailbox copies the elements; the caller
+// keeps ownership of vs.
+func (m *Mailbox[T]) PutAll(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.items = append(m.items, vs...)
+	m.cond.Signal()
+}
+
+// popLocked removes and returns the head item. Caller guarantees at least
+// one live item.
+func (m *Mailbox[T]) popLocked() T {
+	var zero T
+	v := m.items[m.head]
+	m.items[m.head] = zero // release the reference now, not at compaction
+	m.head++
+	m.maybeCompactLocked()
+	return v
+}
+
+// maybeCompactLocked copies the live tail over the dead prefix once the
+// prefix is both large and at least as big as the tail, bounding retained
+// capacity to O(live) amortised.
+func (m *Mailbox[T]) maybeCompactLocked() {
+	if m.head < compactThreshold || m.head < len(m.items)-m.head {
+		return
+	}
+	live := copy(m.items, m.items[m.head:])
+	var zero T
+	for i := live; i < len(m.items); i++ {
+		m.items[i] = zero
+	}
+	m.items = m.items[:live]
+	m.head = 0
+}
+
 // Get blocks until an item is available or the mailbox is closed and
 // drained. ok is false only when closed and empty.
 func (m *Mailbox[T]) Get() (v T, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.items) == 0 && !m.closed {
+	for m.head == len(m.items) && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.items) == 0 {
+	if m.head == len(m.items) {
 		var zero T
 		return zero, false
 	}
-	v = m.items[0]
-	m.items = m.items[1:]
-	return v, true
+	return m.popLocked(), true
+}
+
+// GetAll blocks like Get, then drains every queued item into buf (which is
+// truncated and reused — pass the previous call's return value to amortise
+// allocation). ok is false only when the mailbox is closed and empty.
+// One lock round-trip hands the consumer the whole backlog, the
+// batch-delivery dual of PutAll.
+func (m *Mailbox[T]) GetAll(buf []T) (batch []T, ok bool) {
+	buf = buf[:0]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.head == len(m.items) && !m.closed {
+		m.cond.Wait()
+	}
+	if m.head == len(m.items) {
+		return buf, false
+	}
+	buf = append(buf, m.items[m.head:]...)
+	var zero T
+	for i := m.head; i < len(m.items); i++ {
+		m.items[i] = zero
+	}
+	m.items = m.items[:0]
+	m.head = 0
+	return buf, true
 }
 
 // TryGet returns an item if one is immediately available.
 func (m *Mailbox[T]) TryGet() (v T, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.items) == 0 {
+	if m.head == len(m.items) {
 		var zero T
 		return zero, false
 	}
-	v = m.items[0]
-	m.items = m.items[1:]
-	return v, true
+	return m.popLocked(), true
 }
 
 // Len returns the number of queued items.
 func (m *Mailbox[T]) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.items)
+	return len(m.items) - m.head
 }
 
 // Close wakes all blocked Gets. Items already queued can still be drained.

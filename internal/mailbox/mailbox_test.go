@@ -134,6 +134,116 @@ func TestLenTracksBacklog(t *testing.T) {
 	}
 }
 
+// TestPutAllGetAllBatch pins the batch APIs: PutAll preserves order
+// against interleaved Puts, and GetAll drains the whole backlog into a
+// reused buffer.
+func TestPutAllGetAllBatch(t *testing.T) {
+	m := New[int]()
+	m.Put(1)
+	m.PutAll([]int{2, 3, 4})
+	m.PutAll(nil) // no-op
+	m.Put(5)
+
+	buf, ok := m.GetAll(nil)
+	if !ok || len(buf) != 5 {
+		t.Fatalf("GetAll = %v,%v; want 5 items", buf, ok)
+	}
+	for i, v := range buf {
+		if v != i+1 {
+			t.Fatalf("batch[%d] = %d", i, v)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after GetAll = %d", m.Len())
+	}
+	// Buffer reuse: the same backing array comes back when it fits.
+	m.PutAll([]int{6, 7})
+	buf2, ok := m.GetAll(buf)
+	if !ok || len(buf2) != 2 || buf2[0] != 6 || buf2[1] != 7 {
+		t.Fatalf("GetAll reuse = %v,%v", buf2, ok)
+	}
+	if cap(buf2) != cap(buf) || &buf2[0] != &buf[0] {
+		t.Fatal("GetAll did not reuse the caller's buffer")
+	}
+	// Closed + empty: ok=false.
+	m.Close()
+	if _, ok := m.GetAll(buf2); ok {
+		t.Fatal("GetAll on closed empty mailbox returned ok")
+	}
+}
+
+// TestGetAllBlocksUntilPut pins GetAll's blocking contract: it parks like
+// Get and wakes with the full batch available at wake time.
+func TestGetAllBlocksUntilPut(t *testing.T) {
+	m := New[int]()
+	done := make(chan []int)
+	go func() {
+		batch, _ := m.GetAll(nil)
+		done <- batch
+	}()
+	m.PutAll([]int{10, 11, 12})
+	got := <-done
+	if len(got) < 1 || got[0] != 10 {
+		t.Fatalf("GetAll woke with %v", got)
+	}
+}
+
+// TestPopReleasesSlotsAndCompacts is the alloc/retention regression for
+// the old `items = items[1:]` pop, which pinned the backing array forever:
+// every popped head slot stays reachable via the slice backing even after
+// the consumer moved on. The new head-cursor pop must (a) zero popped
+// slots immediately so their referents are collectable, and (b) compact so
+// retained capacity tracks the live backlog, not the total ever enqueued.
+func TestPopReleasesSlotsAndCompacts(t *testing.T) {
+	m := New[*[1024]byte]()
+	const total = 4096
+	for i := 0; i < total; i++ {
+		m.Put(&[1024]byte{})
+		if _, ok := m.Get(); !ok {
+			t.Fatal("Get failed")
+		}
+		// Steady-state backlog of zero: retained capacity must stay small.
+		m.mu.Lock()
+		if c := cap(m.items); c > 4*compactThreshold {
+			m.mu.Unlock()
+			t.Fatalf("retained capacity %d after %d put/get cycles; head-cursor compaction broken", c, i+1)
+		}
+		// Every dead slot must be zeroed (no pinned referents).
+		for j := 0; j < m.head; j++ {
+			if m.items[j] != nil {
+				m.mu.Unlock()
+				t.Fatalf("popped slot %d still pins its item", j)
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// TestRetentionWithStandingBacklog: a deep backlog drains without
+// quadratic compaction churn and ends with bounded capacity.
+func TestRetentionWithStandingBacklog(t *testing.T) {
+	m := New[int]()
+	const depth = 10000
+	for i := 0; i < depth; i++ {
+		m.Put(i)
+	}
+	for i := 0; i < depth; i++ {
+		v, ok := m.Get()
+		if !ok || v != i {
+			t.Fatalf("Get = %d,%v; want %d", v, ok, i)
+		}
+	}
+	m.mu.Lock()
+	c, h, l := cap(m.items), m.head, len(m.items)
+	m.mu.Unlock()
+	if l-h != 0 {
+		t.Fatalf("backlog %d after full drain", l-h)
+	}
+	if c > 2*depth {
+		t.Fatalf("capacity grew far past the high-water mark: %d", c)
+	}
+}
+
 func TestConcurrentProducersConsumers(t *testing.T) {
 	m := New[int]()
 	const producers, perProducer = 8, 500
