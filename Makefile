@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check bench bench-shuffle fuzz-short chaos trace
+.PHONY: build vet lint test race check bench bench-shuffle bench-controlplane bench-service fuzz-short chaos trace
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ bench-shuffle:
 # against the checked-in pre-optimisation baseline (PR 6).
 bench-controlplane:
 	$(GO) run ./cmd/tez-bench -exp controlplane -controlplane-json BENCH_controlplane.json
+
+# bench-service floods the multi-tenant DAG service with ≥1000 small DAGs
+# from 4 weighted tenants through bounded admission queues (typed
+# rejections must engage) and persists throughput + p50/p99 to
+# BENCH_service.json. CI uploads the JSON as an artifact.
+bench-service:
+	$(GO) run ./cmd/tez-bench -exp service -service-json BENCH_service.json
 
 # fuzz-short gives the record-framing decoders a brief coverage-guided
 # shake on every run (the checked-in corpus under testdata/fuzz replays

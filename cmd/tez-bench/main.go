@@ -20,9 +20,10 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small | full")
-	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,chaos,ablations,shuffle-sort,shuffle-codec,controlplane,controlplane-quick")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,chaos,ablations,shuffle-sort,shuffle-codec,controlplane,controlplane-quick,service")
 	shuffleJSON := flag.String("shuffle-json", "", "write shuffle-sort/shuffle-codec results to this JSON file")
 	cpJSON := flag.String("controlplane-json", "", "write control-plane results to this JSON file")
+	serviceJSON := flag.String("service-json", "", "write multi-tenant service results to this JSON file")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -135,6 +136,30 @@ func main() {
 				log.Fatalf("controlplane-json: %v", err)
 			}
 			fmt.Printf("wrote %s\n", *cpJSON)
+		}
+	}
+
+	// Multi-tenant service throughput (ISSUE 7). Opt-in like controlplane:
+	// the open-loop flood is load, not a paper figure.
+	if want["service"] {
+		rows, err := bench.ServiceResults()
+		if err != nil {
+			log.Fatalf("service: %v", err)
+		}
+		fmt.Println(bench.ServiceReport(rows))
+		if *serviceJSON != "" {
+			var payload struct {
+				Current []bench.ServiceBenchResult `json:"current"`
+			}
+			payload.Current = rows
+			blob, err := json.MarshalIndent(payload, "", "  ")
+			if err != nil {
+				log.Fatalf("service-json: %v", err)
+			}
+			if err := os.WriteFile(*serviceJSON, append(blob, '\n'), 0o644); err != nil {
+				log.Fatalf("service-json: %v", err)
+			}
+			fmt.Printf("wrote %s\n", *serviceJSON)
 		}
 	}
 

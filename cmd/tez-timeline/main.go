@@ -53,6 +53,7 @@ func main() {
 	nodes := flag.Int("nodes", 4, "simulated cluster size when running")
 	lines := flag.Int("lines", 400, "input lines for the wordcount run")
 	chaosSeed := flag.Int64("chaos-seed", 0, "when non-zero, inject transient fetch faults with this seed")
+	tenant := flag.String("tenant", "", "keep only events attributed to this tenant before analysis and export")
 	flag.Parse()
 
 	var events []timeline.Event
@@ -69,6 +70,12 @@ func main() {
 		fmt.Printf("journal %s: %d events\n\n", *in, len(events))
 	} else {
 		events = runWordcount(*nodes, *lines, *chaosSeed)
+	}
+
+	if *tenant != "" {
+		all := len(events)
+		events = timeline.FilterTenant(events, *tenant)
+		fmt.Printf("tenant %q: %d of %d events\n\n", *tenant, len(events), all)
 	}
 
 	analyse(events, *dagID)

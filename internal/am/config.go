@@ -23,6 +23,12 @@ import (
 type Config struct {
 	// Name identifies the session's YARN application.
 	Name string
+	// Tenant, when set, registers the application under that tenant's
+	// scheduling group: its apps share the tenant's weighted fair share
+	// and memory quota (cluster.SetTenant) instead of competing
+	// individually. The session's timeline streams are tagged with the
+	// tenant so per-tenant traces can be filtered from a shared journal.
+	Tenant string
 	// ContainerResource is the per-task container size.
 	ContainerResource cluster.Resource
 	// MaxTaskAttempts bounds re-execution of a failing task (default 4).

@@ -1,6 +1,7 @@
 package am
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -230,7 +231,17 @@ type msgNodeFailed struct {
 
 type msgTick struct{}
 
-type msgKill struct{ reason string }
+// msgKill aborts the run. cause, when set, is wrapped into the result's
+// Err so callers can classify the kill with errors.Is (deadline kills
+// carry ErrDeadlineExceeded).
+type msgKill struct {
+	reason string
+	cause  error
+}
+
+// ErrDeadlineExceeded marks a DAG killed because its per-submission
+// deadline (Submit's WithDeadline option) elapsed before completion.
+var ErrDeadlineExceeded = errors.New("am: dag deadline exceeded")
 
 // dagRun executes one DAG. A single dispatcher goroutine consumes the
 // mailbox and owns all mutable state — the state machines never need
@@ -270,6 +281,11 @@ type dagRun struct {
 	// backlogMax is the dispatcher-mailbox depth high-water mark, sampled
 	// on ticks (AM_MAILBOX_BACKLOG_MAX gauge + AM_BACKLOG journal events).
 	backlogMax int64
+
+	// deadline, when positive, bounds the run's wall-clock duration: a
+	// timer goroutine posts a deadline kill if done has not closed first
+	// (Submit's WithDeadline option).
+	deadline time.Duration
 
 	// recovered checkpoint to apply at start (nil for fresh runs).
 	recovered *checkpoint
@@ -357,6 +373,21 @@ func (r *dagRun) start() {
 			}
 		}
 	}()
+	if r.deadline > 0 {
+		go func() {
+			t := time.NewTimer(r.deadline)
+			defer t.Stop()
+			select {
+			case <-r.done:
+				// Completed first; the mailbox may already be abandoned.
+			case <-t.C:
+				r.mb.Put(msgKill{
+					reason: fmt.Sprintf("deadline %v exceeded", r.deadline),
+					cause:  ErrDeadlineExceeded,
+				})
+			}
+		}()
+	}
 	go r.loop()
 }
 
@@ -422,7 +453,11 @@ func (r *dagRun) dispatch(m amMsg) {
 	case msgTick:
 		r.onTick()
 	case msgKill:
-		r.fail(DAGKilled, fmt.Errorf("am: dag %s killed: %s", r.id, msg.reason))
+		if msg.cause != nil {
+			r.fail(DAGKilled, fmt.Errorf("am: dag %s killed: %s: %w", r.id, msg.reason, msg.cause))
+		} else {
+			r.fail(DAGKilled, fmt.Errorf("am: dag %s killed: %s", r.id, msg.reason))
+		}
 	case msgParQuery:
 		r.onParQuery(msg)
 	}

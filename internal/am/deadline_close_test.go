@@ -1,0 +1,151 @@
+// Per-submission deadline and Close-hardening tests: overdue DAGs die
+// with a typed reason, the deadline-vs-completion race always lands on
+// exactly one terminal result, and closing a session mid-run leaks no
+// scheduler requests, containers or goroutines.
+package am
+
+import (
+	"errors"
+	"fmt"
+	gort "runtime"
+	"testing"
+	"time"
+
+	"tez/internal/dag"
+	"tez/internal/plugin"
+	"tez/internal/runtime"
+)
+
+func init() {
+	runtime.RegisterProcessor("amdl.block", func() runtime.Processor { return &blockProc{} })
+	runtime.RegisterProcessor("amdl.sleep", func() runtime.Processor { return &sleepProc{} })
+}
+
+// blockProc parks until the attempt is killed.
+type blockProc struct{ stop <-chan struct{} }
+
+func (p *blockProc) Initialize(ctx *runtime.Context) error { p.stop = ctx.Stop; return nil }
+func (p *blockProc) Run(map[string]runtime.Input, map[string]runtime.Output) error {
+	<-p.stop
+	return errors.New("amdl.block: killed")
+}
+func (p *blockProc) Close() error { return nil }
+
+// sleepProc runs for ~2ms, observing Stop.
+type sleepProc struct{ stop <-chan struct{} }
+
+func (p *sleepProc) Initialize(ctx *runtime.Context) error { p.stop = ctx.Stop; return nil }
+func (p *sleepProc) Run(map[string]runtime.Input, map[string]runtime.Output) error {
+	select {
+	case <-time.After(2 * time.Millisecond):
+		return nil
+	case <-p.stop:
+		return errors.New("amdl.sleep: killed")
+	}
+}
+func (p *sleepProc) Close() error { return nil }
+
+func oneVertexDAG(name, proc string, tasks int) *dag.DAG {
+	d := dag.New(name)
+	d.AddVertex("work", plugin.Desc(proc, nil), tasks)
+	return d
+}
+
+// TestDeadlineKillsOverdueDAG: a DAG that cannot finish is killed at its
+// deadline with a result classifiable as ErrDeadlineExceeded.
+func TestDeadlineKillsOverdueDAG(t *testing.T) {
+	plat := newTestPlatform(4)
+	defer plat.Stop()
+	sess := NewSession(plat, Config{Name: "deadline"})
+	defer sess.Close()
+
+	start := time.Now()
+	res, err := sess.Run(oneVertexDAG("stuck", "amdl.block", 2), WithDeadline(25*time.Millisecond))
+	if res.Status != DAGKilled {
+		t.Fatalf("status = %v (err %v), want DAGKilled", res.Status, err)
+	}
+	if !errors.Is(res.Err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", res.Err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("deadline enforcement took %v", waited)
+	}
+}
+
+// TestDeadlineCompletionRace: with the deadline set right at the DAG's
+// natural runtime, every run must land on exactly one coherent terminal
+// result — success, or a deadline kill — never a hang or a mixed state.
+func TestDeadlineCompletionRace(t *testing.T) {
+	plat := newTestPlatform(4)
+	defer plat.Stop()
+	sess := NewSession(plat, Config{Name: "race"})
+	defer sess.Close()
+
+	var succeeded, killed int
+	for i := 0; i < 30; i++ {
+		// Sweep the deadline through the DAG's ~2ms runtime so both sides
+		// of the race occur across the sweep.
+		deadline := time.Duration(1+i%5) * time.Millisecond
+		res, _ := sess.Run(oneVertexDAG(fmt.Sprintf("r%d", i), "amdl.sleep", 2), WithDeadline(deadline))
+		switch res.Status {
+		case DAGSucceeded:
+			succeeded++
+			if res.Err != nil {
+				t.Fatalf("run %d: succeeded with err %v", i, res.Err)
+			}
+		case DAGKilled:
+			killed++
+			if !errors.Is(res.Err, ErrDeadlineExceeded) {
+				t.Fatalf("run %d: killed with err %v, want ErrDeadlineExceeded", i, res.Err)
+			}
+		default:
+			t.Fatalf("run %d: unexpected status %v (%v)", i, res.Status, res.Err)
+		}
+	}
+	t.Logf("race sweep: %d succeeded, %d deadline-killed", succeeded, killed)
+}
+
+// TestCloseMidRunLeaksNothing: closing a session (with prewarmed
+// containers) while a DAG is mid-flight must cancel every outstanding
+// scheduler request, return all containers to the RM and unwind every
+// goroutine. Run under -race in CI.
+func TestCloseMidRunLeaksNothing(t *testing.T) {
+	plat := newTestPlatform(4)
+	defer plat.Stop()
+	time.Sleep(10 * time.Millisecond)
+	before := gort.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		sess := NewSession(plat, Config{Name: fmt.Sprintf("close-%d", i), PrewarmContainers: 2})
+		h, err := sess.Submit(oneVertexDAG("stuck", "amdl.block", 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Let some attempts reach the blocking processor, then yank the
+		// session out from under them.
+		time.Sleep(time.Duration(i) * 2 * time.Millisecond)
+		sess.Close()
+		res := h.Wait()
+		if res.Status != DAGKilled {
+			t.Fatalf("iter %d: status %v (%v), want DAGKilled", i, res.Status, res.Err)
+		}
+		if pending := sess.app.PendingRequests(); pending != 0 {
+			t.Fatalf("iter %d: %d scheduler requests leaked past Close", i, pending)
+		}
+		if held := sess.app.HeldContainers(); held != 0 {
+			t.Fatalf("iter %d: %d containers leaked past Close", i, held)
+		}
+	}
+	if used := plat.RM.UsedResources(); !used.IsZero() {
+		t.Fatalf("RM still holds resources after Close: %v", used)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gort.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, gort.NumGoroutine(), buf[:gort.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

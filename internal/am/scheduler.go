@@ -539,11 +539,18 @@ func (s *scheduler) close() {
 	idle := s.idle
 	s.idle = nil
 	// Detach queued requests so a straggling cancel's removal is a no-op
-	// against the dropped buckets.
+	// against the dropped buckets, and collect their outstanding RM
+	// requests: dropping the buckets alone would leave those requests
+	// pending at the RM forever (Application.PendingRequests never
+	// returning to zero after a mid-run Close).
+	var withdraw []*cluster.ContainerRequest
 	for _, b := range s.pending {
 		for _, r := range b.reqs[b.head:] {
 			if r != nil {
 				r.bucket = nil
+				if r.rmReq != nil && !r.cancelled {
+					withdraw = append(withdraw, r.rmReq)
+				}
 			}
 		}
 	}
@@ -551,6 +558,9 @@ func (s *scheduler) close() {
 	s.prios = nil
 	s.livePending = 0
 	s.mu.Unlock()
+	for _, req := range withdraw {
+		s.app.Cancel(req)
+	}
 	for _, pc := range idle {
 		s.app.Release(pc.c)
 	}

@@ -40,7 +40,7 @@ func NewSession(plat *platform.Platform, cfg Config) *Session {
 		active: make(map[string]*dagRun),
 		stopCh: make(chan struct{}),
 	}
-	s.app = plat.RM.Submit(cfg.Name)
+	s.app = plat.RM.SubmitTenant(cfg.Name, cfg.Tenant)
 	if !cfg.DisableBlacklisting {
 		s.health = newNodeHealth(cfg, len(plat.RM.Nodes()))
 	}
@@ -121,8 +121,18 @@ func (h *DAGRun) Wait() DAGResult {
 // Kill aborts the DAG.
 func (h *DAGRun) Kill(reason string) { h.run.mb.Put(msgKill{reason: reason}) }
 
+// SubmitOption configures one Submit.
+type SubmitOption func(*dagRun)
+
+// WithDeadline bounds the run's wall-clock duration: a DAG still running
+// after d is killed with a DAGKilled result whose Err satisfies
+// errors.Is(err, ErrDeadlineExceeded). Zero or negative means no bound.
+func WithDeadline(d time.Duration) SubmitOption {
+	return func(r *dagRun) { r.deadline = d }
+}
+
 // Submit starts a DAG in this session and returns immediately.
-func (s *Session) Submit(d *dag.DAG) (*DAGRun, error) {
+func (s *Session) Submit(d *dag.DAG, opts ...SubmitOption) (*DAGRun, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -136,7 +146,17 @@ func (s *Session) Submit(d *dag.DAG) (*DAGRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, o := range opts {
+		o(run)
+	}
+	s.cfg.Timeline.TagStream(id, s.cfg.Tenant)
 	s.mu.Lock()
+	if s.closed {
+		// Close ran between the admission check and here; the run has no
+		// goroutines yet, so refusing is a clean unwind.
+		s.mu.Unlock()
+		return nil, fmt.Errorf("am: session closed")
+	}
 	s.active[id] = run
 	s.mu.Unlock()
 	run.start()
@@ -144,8 +164,8 @@ func (s *Session) Submit(d *dag.DAG) (*DAGRun, error) {
 }
 
 // Run submits a DAG and waits for its result.
-func (s *Session) Run(d *dag.DAG) (DAGResult, error) {
-	h, err := s.Submit(d)
+func (s *Session) Run(d *dag.DAG, opts ...SubmitOption) (DAGResult, error) {
+	h, err := s.Submit(d, opts...)
 	if err != nil {
 		return DAGResult{}, err
 	}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -109,6 +110,25 @@ type Spec struct {
 	// AMCrashAfterVertexCompletions crashes the AM (once) after that many
 	// vertex completions across the plane's lifetime.
 	AMCrashAfterVertexCompletions int
+
+	// ScopeTenantPrefix, when non-empty, restricts fault injection to
+	// operations whose scope tag starts with the prefix — the tenant-
+	// isolation drill: faults land only on one tenant's traffic while
+	// everyone else runs clean. Tags per hook: task execution and
+	// container launch carry the owning app's tenant name; shuffle
+	// fetches carry the fetch site, which begins with the DAG run id
+	// ("<session>.<dag>.<seq>") — name sessions after tenants and the
+	// prefix matches; DFS reads carry the file path. Node-level
+	// behaviours (sick/slow node picks are still made, node actions,
+	// exec delays) are whole-machine and stay unscoped, but a sick
+	// node only fails executions whose tag is in scope.
+	ScopeTenantPrefix string
+}
+
+// inScope reports whether a fault with the given scope tag may be
+// injected under ScopeTenantPrefix. An empty scope admits everything.
+func (p *Plane) inScope(tag string) bool {
+	return p.spec.ScopeTenantPrefix == "" || strings.HasPrefix(tag, p.spec.ScopeTenantPrefix)
 }
 
 // Plane carries one seeded fault schedule. The zero/nil Plane injects
@@ -354,10 +374,14 @@ func (p *Plane) Step() int {
 	return p.step
 }
 
-// ExecFault decides whether a task execution on node fails. site should
-// identify the attempt (stable across retries of the decision's subject).
+// ExecFault decides whether a task execution on node fails. site is the
+// scope tag of the execution (the cluster passes the container's tenant;
+// "" when untenanted) and also keys the decision stream.
 func (p *Plane) ExecFault(node, site string) error {
 	if p == nil {
+		return nil
+	}
+	if !p.inScope(site) {
 		return nil
 	}
 	p.mu.Lock()
@@ -392,9 +416,12 @@ func (p *Plane) ExecDelay(node string) time.Duration {
 	return 0
 }
 
-// LaunchFault decides whether a container launch on node fails.
-func (p *Plane) LaunchFault(node string) bool {
-	if p == nil {
+// LaunchFault decides whether a container launch on node fails. tag is
+// the launch's scope tag (the owning app's tenant; "" when untenanted)
+// and does not key the decision stream, so untenanted runs draw the same
+// stream they always did.
+func (p *Plane) LaunchFault(node, tag string) bool {
+	if p == nil || !p.inScope(tag) {
 		return false
 	}
 	return p.roll("launch", node, p.spec.LaunchFailProb)
@@ -404,7 +431,7 @@ func (p *Plane) LaunchFault(node string) bool {
 // (output, partition, reader) so retries of the same fetch draw fresh
 // decisions in a stable stream.
 func (p *Plane) FetchFault(site string) Fault {
-	if p == nil {
+	if p == nil || !p.inScope(site) {
 		return FaultNone
 	}
 	if p.roll("fetch_lost", site, p.spec.FetchDataLostProb) {
@@ -431,9 +458,10 @@ func (p *Plane) FetchDelayFactor(node string) float64 {
 }
 
 // DFSReadFault decides whether a DFS read issued from node fails
-// transiently.
+// transiently. Under a tenant scope the path is the tag; paths rarely
+// carry tenant names, so scoped specs effectively suppress DFS faults.
 func (p *Plane) DFSReadFault(path, node string) bool {
-	if p == nil {
+	if p == nil || !p.inScope(path) {
 		return false
 	}
 	return p.roll("dfs_read", node+"/"+path, p.spec.DFSReadFaultProb)

@@ -107,7 +107,7 @@ func TestDecisionStreamDeterminism(t *testing.T) {
 
 	// Other decision kinds are deterministic too.
 	for i := 0; i < 50; i++ {
-		if a.LaunchFault("n1") != b.LaunchFault("n1") {
+		if a.LaunchFault("n1", "") != b.LaunchFault("n1", "") {
 			t.Fatalf("launch decision %d diverged", i)
 		}
 		if a.DFSReadFault("/in/part-0", "n2") != b.DFSReadFault("/in/part-0", "n2") {
@@ -203,7 +203,7 @@ func TestNilPlaneNoOps(t *testing.T) {
 	var p *Plane
 	p.Bind([]string{"n1"})
 	p.TaskStarted("n1")
-	if p.ExecFault("n1", "s") != nil || p.ExecDelay("n1") != 0 || p.LaunchFault("n1") {
+	if p.ExecFault("n1", "s") != nil || p.ExecDelay("n1") != 0 || p.LaunchFault("n1", "") {
 		t.Fatal("nil plane injected an exec/launch fault")
 	}
 	if p.FetchFault("s") != FaultNone || p.FetchDelayFactor("n1") != 1 || p.DFSReadFault("p", "n1") {

@@ -1,0 +1,62 @@
+package chaos
+
+import "testing"
+
+// TestScopeTenantPrefix: with a scope set, every fault hook fires only
+// for tags carrying the scoped prefix — the mechanism behind tenant-
+// isolation chaos (the tag is the tenant for exec/launch and the
+// tenant-prefixed run id for fetch).
+func TestScopeTenantPrefix(t *testing.T) {
+	p := New(7, Spec{
+		ScopeTenantPrefix:  "A",
+		TaskFaultProb:      1,
+		LaunchFailProb:     1,
+		TransientFetchProb: 1,
+		DFSReadFaultProb:   1,
+	})
+
+	// Out of scope: no hook may ever fire.
+	for i := 0; i < 20; i++ {
+		if err := p.ExecFault("n1", "B"); err != nil {
+			t.Fatalf("exec fault leaked into tenant B: %v", err)
+		}
+		if err := p.ExecFault("n1", ""); err != nil {
+			t.Fatalf("exec fault leaked into untenanted run: %v", err)
+		}
+		if p.LaunchFault("n1", "B") {
+			t.Fatal("launch fault leaked into tenant B")
+		}
+		if f := p.FetchFault("B.job.1/out/0"); f != FaultNone {
+			t.Fatalf("fetch fault leaked into tenant B: %v", f)
+		}
+		if p.DFSReadFault("/in/words", "n1") {
+			t.Fatal("DFS fault fired on an unscoped path")
+		}
+	}
+	if n := len(p.Injected()); n != 0 {
+		t.Fatalf("out-of-scope probes injected %d fault kinds: %v", n, p.Injected())
+	}
+
+	// In scope: probability-1 hooks must fire.
+	if err := p.ExecFault("n1", "A"); err == nil {
+		t.Fatal("exec fault suppressed for the scoped tenant")
+	}
+	if !p.LaunchFault("n1", "A") {
+		t.Fatal("launch fault suppressed for the scoped tenant")
+	}
+	if f := p.FetchFault("A.job.1/out/0"); f == FaultNone {
+		t.Fatal("fetch fault suppressed for the scoped tenant's run")
+	}
+}
+
+// TestScopeEmptyIsUniversal: no scope means every tag is eligible — the
+// pre-scoping behaviour.
+func TestScopeEmptyIsUniversal(t *testing.T) {
+	p := New(7, Spec{TaskFaultProb: 1})
+	if err := p.ExecFault("n1", ""); err == nil {
+		t.Fatal("untenanted exec fault suppressed without a scope")
+	}
+	if err := p.ExecFault("n1", "B"); err == nil {
+		t.Fatal("tenant exec fault suppressed without a scope")
+	}
+}

@@ -40,6 +40,9 @@ type ContainerRequest struct {
 type Application struct {
 	ID   AppID
 	Name string
+	// Tenant is the scheduling group the app was submitted under ("" for
+	// a private share). Immutable after SubmitTenant.
+	Tenant string
 
 	rm     *ResourceManager
 	events *mailbox.Mailbox[Event]

@@ -99,11 +99,14 @@ type Config struct {
 	// DisableDelayScheduling turns off the wait-before-relax behaviour;
 	// requests then allocate anywhere immediately (ablation knob).
 	DisableDelayScheduling bool
-	// FairPreemption enables preemption of containers from applications
-	// above their instantaneous fair share when another application is
-	// starved. PreemptionInterval is how often the check runs.
-	FairPreemption     bool
-	PreemptionInterval time.Duration
+	// FairPreemption enables preemption of containers from tenant groups
+	// above their instantaneous weighted fair share when another group is
+	// starved. PreemptionInterval is how often the check runs;
+	// PreemptionStarvation is how long a group must remain starved before
+	// containers are actually killed for it (0 = immediately).
+	FairPreemption       bool
+	PreemptionInterval   time.Duration
+	PreemptionStarvation time.Duration
 	// Chaos, when set, injects faults into container launch and execution
 	// (nil means no injection).
 	Chaos *chaos.Plane

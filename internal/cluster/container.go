@@ -53,6 +53,9 @@ type Container struct {
 
 	node *Node
 	rm   *ResourceManager
+	// tenant is the owning app's tenant, copied at allocation — the tag
+	// the chaos plane scopes injected faults by.
+	tenant string
 
 	mu        sync.Mutex
 	launched  bool
@@ -92,7 +95,7 @@ func (c *Container) Launch() error {
 		c.mu.Unlock()
 		return nil
 	}
-	if c.rm.cfg.Chaos.LaunchFault(string(c.node.ID)) {
+	if c.rm.cfg.Chaos.LaunchFault(string(c.node.ID), c.tenant) {
 		c.mu.Unlock()
 		return ErrLaunchFailed
 	}
@@ -154,7 +157,7 @@ func (c *Container) Exec(fn func(stop <-chan struct{}) error) error {
 			return ErrContainerKilled
 		}
 	}
-	if err := c.rm.cfg.Chaos.ExecFault(node, ""); err != nil {
+	if err := c.rm.cfg.Chaos.ExecFault(node, c.tenant); err != nil {
 		return err
 	}
 	done := make(chan error, 1)

@@ -27,9 +27,16 @@ type ResourceManager struct {
 	nodeList  []*Node // stable order for deterministic iteration
 	shards    map[string]*rackShard
 	shardList []*rackShard // stable rack order for deterministic placement
-	apps      map[AppID]*Application
-	appOrder  []AppID        // submission order
-	schedApps []*Application // fairness order, incrementally maintained
+	apps     map[AppID]*Application
+	appOrder []AppID // submission order
+	// schedTenants is the two-level fairness order: tenant groups sorted
+	// by weighted allocation, each holding its apps sorted by allocation.
+	// Untenanted apps ride in anonymous singleton groups, reducing the
+	// hierarchy to the old flat order. tenantCfg keeps named groups (and
+	// their weight/quota) resolvable even while they have no apps.
+	schedTenants []*tenantGroup
+	tenantCfg    map[string]*tenantGroup
+	nextGroupSeq int
 
 	// Cluster-wide capacity mirrors, kept in sync by the charge/uncharge
 	// helpers so Total/UsedResources are O(1) instead of O(nodes).
@@ -50,11 +57,12 @@ type ResourceManager struct {
 func New(cfg Config) *ResourceManager {
 	cfg = cfg.withDefaults()
 	rm := &ResourceManager{
-		cfg:    cfg,
-		nodes:  make(map[NodeID]*Node),
-		shards: make(map[string]*rackShard),
-		apps:   make(map[AppID]*Application),
-		stopCh: make(chan struct{}),
+		cfg:       cfg,
+		nodes:     make(map[NodeID]*Node),
+		shards:    make(map[string]*rackShard),
+		apps:      make(map[AppID]*Application),
+		tenantCfg: make(map[string]*tenantGroup),
+		stopCh:    make(chan struct{}),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &Node{
@@ -142,14 +150,26 @@ func (rm *ResourceManager) AllocatedByApp() map[string]Resource {
 	return out
 }
 
-// Submit registers a new application and returns its handle.
+// Submit registers a new application and returns its handle. The app is
+// untenanted: it competes for fair share on its own, exactly as before
+// tenant groups existed.
 func (rm *ResourceManager) Submit(name string) *Application {
+	return rm.SubmitTenant(name, "")
+}
+
+// SubmitTenant registers a new application under the named tenant: the
+// app shares that tenant's weighted fair share and memory quota with its
+// other apps. An empty tenant means a private share (the old behaviour).
+// Unknown tenant names are materialised with weight 1 and no quota; use
+// SetTenant to configure them.
+func (rm *ResourceManager) SubmitTenant(name, tenant string) *Application {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 	rm.nextApp++
 	a := &Application{
 		ID:         rm.nextApp,
 		Name:       name,
+		Tenant:     tenant,
 		rm:         rm,
 		events:     mailbox.New[Event](),
 		containers: make(map[ContainerID]*Container),
@@ -157,8 +177,58 @@ func (rm *ResourceManager) Submit(name string) *Application {
 	a.sched.seq = int(rm.nextApp)
 	rm.apps[a.ID] = a
 	rm.appOrder = append(rm.appOrder, a.ID)
-	rm.insertAppLocked(a)
+	rm.insertAppLocked(rm.groupLocked(tenant), a)
 	return a
+}
+
+// groupLocked resolves the scheduling group for a tenant name, creating
+// it if needed. "" always creates a fresh anonymous singleton group.
+// Caller holds rm.mu.
+func (rm *ResourceManager) groupLocked(tenant string) *tenantGroup {
+	if tenant != "" {
+		if g, ok := rm.tenantCfg[tenant]; ok {
+			return g
+		}
+	}
+	rm.nextGroupSeq++
+	g := &tenantGroup{name: tenant, weight: 1, seq: rm.nextGroupSeq}
+	if tenant != "" {
+		rm.tenantCfg[tenant] = g
+	}
+	rm.insertGroupLocked(g)
+	return g
+}
+
+// SetTenant declares (or reconfigures) a tenant's fair-share weight and
+// hard memory quota. Weight < 1 is clamped to 1; quotaMB ≤ 0 means
+// unlimited. Safe to call before or after the tenant's apps exist.
+func (rm *ResourceManager) SetTenant(tenant string, weight, quotaMB int) {
+	if tenant == "" {
+		return
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if quotaMB < 0 {
+		quotaMB = 0
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	g := rm.groupLocked(tenant)
+	g.weight = weight
+	g.quotaMB = quotaMB
+	rm.groupOrderChangedLocked(g) // weight changes the order key
+}
+
+// TenantUsage reports a tenant's currently held memory and its quota
+// (0 = unlimited). Unknown tenants report zeros.
+func (rm *ResourceManager) TenantUsage(tenant string) (allocMB, quotaMB int) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if g, ok := rm.tenantCfg[tenant]; ok {
+		return g.allocMB, g.quotaMB
+	}
+	return 0, 0
 }
 
 func (rm *ResourceManager) removeApp(a *Application) {
@@ -225,7 +295,7 @@ func (rm *ResourceManager) failNode(id NodeID, planned bool) {
 			continue
 		}
 		rm.cfg.Timeline.Record(timeline.Event{
-			Type: timeline.ContainerStopped,
+			Type: timeline.ContainerStopped, Tenant: c.tenant,
 			Node: string(id), Container: int64(c.ID), Info: StopNodeLost.String(),
 		})
 		byApp[app] = append(byApp[app], ContainerStoppedEvent{ContainerID: c.ID, Node: id, Reason: StopNodeLost})
@@ -297,7 +367,7 @@ func (rm *ResourceManager) stopContainer(c *Container, reason StopReason, notify
 		return
 	}
 	rm.cfg.Timeline.Record(timeline.Event{
-		Type: timeline.ContainerStopped,
+		Type: timeline.ContainerStopped, Tenant: c.tenant,
 		Node: string(c.node.ID), Container: int64(c.ID), Info: reason.String(),
 	})
 	app.events.Put(ContainerStoppedEvent{ContainerID: c.ID, Node: c.node.ID, Reason: reason})
@@ -387,10 +457,15 @@ func (rm *ResourceManager) scheduleOnce() {
 func (rm *ResourceManager) schedulePass(order []*Application, grants []grant) ([]*Application, []grant) {
 	rm.mu.Lock()
 	rm.ingestLocked()
-	// Snapshot the fairness order: grants made during the pass reposition
-	// apps immediately, but (as with the old per-pass sort) the pass
-	// processes the order fixed at its start.
-	order = append(order[:0], rm.schedApps...)
+	// Snapshot the fairness order — tenant groups by weighted allocation,
+	// apps within each group by allocation — flattened at pass start:
+	// grants made during the pass reposition apps and groups immediately,
+	// but (as with the old per-pass sort) the pass processes the order
+	// fixed at its start.
+	order = order[:0]
+	for _, g := range rm.schedTenants {
+		order = append(order, g.apps...)
+	}
 	for _, a := range order {
 		if ev, ok := rm.scheduleOneForLocked(a); ok {
 			grants = append(grants, grant{app: a, ev: ev})
@@ -430,9 +505,16 @@ func (rm *ResourceManager) ingestLocked() {
 
 // scheduleOneForLocked grants at most one container to app a, honouring
 // request priority order (bucket order, FIFO within a bucket — the old
-// stable sort) and delay scheduling. Cancelled requests encountered
-// during the walk are pruned in place. Caller holds rm.mu.
+// stable sort), delay scheduling, and the tenant's memory quota: a grant
+// that would push the tenant past its quota is withheld before placement
+// is even attempted, so delay-scheduling counters do not advance while
+// the tenant is quota-bound. Cancelled requests encountered during the
+// walk are pruned in place. Caller holds rm.mu.
 func (rm *ResourceManager) scheduleOneForLocked(a *Application) (Event, bool) {
+	quotaLeft := int(^uint(0) >> 1) // unlimited
+	if g := a.sched.group; g != nil && g.quotaMB > 0 {
+		quotaLeft = g.quotaMB - g.allocMB
+	}
 	var ev Event
 	granted := false
 	for _, p := range a.sched.prios {
@@ -453,6 +535,11 @@ func (rm *ResourceManager) scheduleOneForLocked(a *Application) (Event, bool) {
 				rm.settleLocked(req) // no-op if Cancel already settled
 				continue             // prune
 			case reqQueued:
+				if req.Resource.MemoryMB > quotaLeft {
+					q.reqs[w] = req // over quota: keep queued, try next pass
+					w++
+					continue
+				}
 				n, loc, ok := rm.placeLocked(req)
 				if !ok {
 					q.reqs[w] = req
@@ -599,6 +686,7 @@ func (rm *ResourceManager) commitLocked(a *Application, req *ContainerRequest, n
 		App:       a.ID,
 		Resource:  req.Resource,
 		Locality:  loc,
+		tenant:    a.Tenant,
 		node:      n,
 		rm:        rm,
 		stop:      make(chan struct{}),
@@ -618,16 +706,19 @@ func (rm *ResourceManager) commitLocked(a *Application, req *ContainerRequest, n
 	a.mu.Unlock()
 	rm.appAllocChangedLocked(a, req.Resource.MemoryMB)
 	rm.cfg.Timeline.Record(timeline.Event{
-		Type: timeline.ContainerAllocated,
+		Type: timeline.ContainerAllocated, Tenant: a.Tenant,
 		Node: string(n.ID), Container: int64(c.ID), Info: loc.String(),
 	})
 	return c
 }
 
-// maybePreempt enforces instantaneous fair share: when an application with
-// unmet demand sits below its share while another holds more than its
-// share, the newest containers of the over-share application are killed
-// with StopPreempted until shares balance.
+// maybePreempt enforces instantaneous weighted fair share across tenant
+// groups: when a group with unmet demand has waited below its weighted
+// share for at least PreemptionStarvation, the newest containers of the
+// most-over-share groups are killed with StopPreempted until shares
+// balance. Untenanted apps are their own singleton groups of weight 1,
+// so with no tenants configured this is the old per-app preemption.
+// Called only from the RM loop goroutine; starvedSince needs no lock.
 func (rm *ResourceManager) maybePreempt() {
 	rm.mu.Lock()
 	if time.Since(rm.lastPreempt) < rm.cfg.PreemptionInterval {
@@ -635,54 +726,84 @@ func (rm *ResourceManager) maybePreempt() {
 		return
 	}
 	rm.lastPreempt = time.Now()
-	apps := make([]*Application, 0, len(rm.apps))
-	for _, id := range rm.appOrder {
-		if a, ok := rm.apps[id]; ok {
-			apps = append(apps, a)
-		}
+	type gstate struct {
+		g       *tenantGroup
+		weight  int
+		apps    []*Application
+		held    int
+		pending int
+		share   int
+	}
+	groups := make([]gstate, 0, len(rm.schedTenants))
+	for _, g := range rm.schedTenants {
+		groups = append(groups, gstate{
+			g: g, weight: g.weight,
+			apps: append([]*Application(nil), g.apps...),
+		})
 	}
 	totalMem := rm.capTotal.MemoryMB
 	rm.mu.Unlock()
 
-	type state struct {
-		app     *Application
-		held    int
-		pending int
-	}
-	var states []state
-	active := 0
-	for _, a := range apps {
-		s := state{app: a, held: a.Allocated().MemoryMB, pending: a.PendingRequests()}
-		if s.held > 0 || s.pending > 0 {
-			active++
+	// Demand/holdings are computed outside rm.mu (PendingRequests takes
+	// rm.mu → a.mu itself).
+	sumW := 0
+	active := groups[:0]
+	for _, s := range groups {
+		for _, a := range s.apps {
+			s.held += a.Allocated().MemoryMB
+			s.pending += a.PendingRequests()
 		}
-		states = append(states, s)
+		if s.held > 0 || s.pending > 0 {
+			sumW += s.weight
+			active = append(active, s)
+		} else {
+			s.g.starvedSince = time.Time{}
+		}
 	}
-	if active < 2 || totalMem == 0 {
+	if len(active) < 2 || totalMem == 0 || sumW == 0 {
+		for _, s := range active {
+			s.g.starvedSince = time.Time{}
+		}
 		return
 	}
-	share := totalMem / active
 
-	var starved, over []state
-	for _, s := range states {
+	now := time.Now()
+	var starved, over []gstate
+	for i := range active {
+		s := &active[i]
+		s.share = totalMem * s.weight / sumW
 		switch {
-		case s.pending > 0 && s.held < share:
-			starved = append(starved, s)
-		case s.held > share:
-			over = append(over, s)
+		case s.pending > 0 && s.held < s.share:
+			if s.g.starvedSince.IsZero() {
+				s.g.starvedSince = now
+			}
+			if now.Sub(s.g.starvedSince) >= rm.cfg.PreemptionStarvation {
+				starved = append(starved, *s)
+			}
+		default:
+			s.g.starvedSince = time.Time{}
+			if s.held > s.share {
+				over = append(over, *s)
+			}
 		}
 	}
 	if len(starved) == 0 || len(over) == 0 {
 		return
 	}
+	// Most over share first: the worst offender pays before marginal ones.
+	sort.Slice(over, func(i, j int) bool {
+		return over[i].held-over[i].share > over[j].held-over[j].share
+	})
 	for _, s := range over {
-		excess := s.held - share
+		excess := s.held - s.share
 		var victims []*Container
-		s.app.mu.Lock()
-		for _, c := range s.app.containers {
-			victims = append(victims, c)
+		for _, a := range s.apps {
+			a.mu.Lock()
+			for _, c := range a.containers {
+				victims = append(victims, c)
+			}
+			a.mu.Unlock()
 		}
-		s.app.mu.Unlock()
 		// Newest first: least sunk work lost.
 		sort.Slice(victims, func(i, j int) bool {
 			return victims[i].allocTime.After(victims[j].allocTime)

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Quantiles is a concurrency-safe latency digest: observations are
+// retained exactly (the service workloads observe thousands of
+// submissions, not millions) and quantiles are computed on demand from a
+// sorted copy. The zero value is ready to use.
+type Quantiles struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Observe records one latency sample.
+func (q *Quantiles) Observe(d time.Duration) {
+	q.mu.Lock()
+	q.samples = append(q.samples, d)
+	q.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (q *Quantiles) Count() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.samples)
+}
+
+// Quantile returns the p-quantile (p in [0,1]) by nearest-rank on a
+// sorted copy; 0 with no samples.
+func (q *Quantiles) Quantile(p float64) time.Duration {
+	s := q.sorted()
+	return quantileOf(s, p)
+}
+
+// QuantileSummary is a point-in-time digest of a Quantiles.
+type QuantileSummary struct {
+	Count              int
+	P50, P95, P99, Max time.Duration
+	Mean               time.Duration
+}
+
+// Summary digests the observations into the standard percentiles.
+func (q *Quantiles) Summary() QuantileSummary {
+	s := q.sorted()
+	out := QuantileSummary{Count: len(s)}
+	if len(s) == 0 {
+		return out
+	}
+	out.P50 = quantileOf(s, 0.50)
+	out.P95 = quantileOf(s, 0.95)
+	out.P99 = quantileOf(s, 0.99)
+	out.Max = s[len(s)-1]
+	var sum time.Duration
+	for _, d := range s {
+		sum += d
+	}
+	out.Mean = sum / time.Duration(len(s))
+	return out
+}
+
+func (q *Quantiles) sorted() []time.Duration {
+	q.mu.Lock()
+	s := append([]time.Duration(nil), q.samples...)
+	q.mu.Unlock()
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func quantileOf(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,324 @@
+// Admission-control and drain tests for the multi-tenant service: typed
+// rejections at each bound, deadline pass-through, drain policies, and a
+// goroutine-leak soak. Runs in an external package to exercise only the
+// public surface.
+package service_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tez/internal/am"
+	"tez/internal/dag"
+	"tez/internal/platform"
+	"tez/internal/plugin"
+	tezrt "tez/internal/runtime"
+	"tez/internal/service"
+)
+
+// The gate processor blocks every task until the test opens the gate (or
+// the attempt is killed), making queue occupancy deterministic.
+var (
+	gateMu      sync.Mutex
+	gateCh      chan struct{}
+	gateStarted chan struct{}
+)
+
+func init() {
+	tezrt.RegisterProcessor("svc.gate", func() tezrt.Processor { return &gateProc{} })
+	tezrt.RegisterProcessor("svc.noop", func() tezrt.Processor { return noopProc{} })
+}
+
+// resetGate arms a fresh gate; returns (open, started).
+func resetGate() (chan struct{}, chan struct{}) {
+	gateMu.Lock()
+	defer gateMu.Unlock()
+	gateCh = make(chan struct{})
+	gateStarted = make(chan struct{}, 64)
+	return gateCh, gateStarted
+}
+
+type gateProc struct{ stop <-chan struct{} }
+
+func (p *gateProc) Initialize(ctx *tezrt.Context) error { p.stop = ctx.Stop; return nil }
+func (p *gateProc) Run(map[string]tezrt.Input, map[string]tezrt.Output) error {
+	gateMu.Lock()
+	open, started := gateCh, gateStarted
+	gateMu.Unlock()
+	select {
+	case started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-open:
+		return nil
+	case <-p.stop:
+		return errors.New("svc.gate: killed")
+	}
+}
+func (p *gateProc) Close() error { return nil }
+
+type noopProc struct{}
+
+func (noopProc) Initialize(*tezrt.Context) error                           { return nil }
+func (noopProc) Run(map[string]tezrt.Input, map[string]tezrt.Output) error { return nil }
+func (noopProc) Close() error                                              { return nil }
+
+func gateDAG(name string) *dag.DAG {
+	d := dag.New(name)
+	d.AddVertex("work", plugin.Desc("svc.gate", nil), 1)
+	return d
+}
+
+func noopDAG(name string) *dag.DAG {
+	d := dag.New(name)
+	d.AddVertex("work", plugin.Desc("svc.noop", nil), 1)
+	return d
+}
+
+// TestTypedRejections drives the service into each admission bound and
+// asserts the rejection is classifiable with errors.Is.
+func TestTypedRejections(t *testing.T) {
+	open, started := resetGate()
+	plat := platform.New(platform.Fast(4))
+	defer plat.Stop()
+	svc := service.New(plat, service.Config{
+		Tenants: []service.TenantConfig{
+			{Name: "t", QueueDepth: 2, Workers: 1},
+			{Name: "u", QueueDepth: 8, Workers: 1},
+		},
+		MaxInFlight: 4,
+	})
+	defer svc.Close()
+
+	// Fill tenant t: one running (worker occupied, gate closed) + two
+	// queued = queue full.
+	running, err := svc.Submit("t", gateDAG("run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first DAG never started")
+	}
+	var queued []*service.Submission
+	for i := 0; i < 2; i++ {
+		sub, err := svc.Submit("t", gateDAG(fmt.Sprintf("q%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, sub)
+	}
+	if _, err := svc.Submit("t", gateDAG("over")); !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("queue-full submit: got %v, want ErrQueueFull", err)
+	}
+
+	// Global cap: in-flight is 3 (t); one more admits, the next sheds.
+	sub4, err := svc.Submit("u", gateDAG("u0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued = append(queued, sub4)
+	if _, err := svc.Submit("u", gateDAG("u1")); !errors.Is(err, service.ErrOverQuota) {
+		t.Fatalf("over-cap submit: got %v, want ErrOverQuota", err)
+	}
+
+	// Unknown tenant.
+	if _, err := svc.Submit("ghost", gateDAG("g")); !errors.Is(err, service.ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: got %v, want ErrUnknownTenant", err)
+	}
+
+	// Open the gate; everything admitted must finish cleanly.
+	close(open)
+	if res := running.Wait(); res.Status != am.DAGSucceeded {
+		t.Fatalf("running DAG: %v (%v)", res.Status, res.Err)
+	}
+	for i, sub := range queued {
+		if res := sub.Wait(); res.Status != am.DAGSucceeded {
+			t.Fatalf("queued DAG %d: %v (%v)", i, res.Status, res.Err)
+		}
+	}
+
+	// Draining rejects all new work.
+	svc.Drain(service.DrainFinish)
+	if _, err := svc.Submit("t", gateDAG("late")); !errors.Is(err, service.ErrDraining) {
+		t.Fatalf("post-drain submit: got %v, want ErrDraining", err)
+	}
+
+	st := svc.Snapshot()
+	if !st.Draining || st.InFlight != 0 {
+		t.Fatalf("post-drain snapshot: draining=%v inFlight=%d", st.Draining, st.InFlight)
+	}
+	for _, ts := range st.Tenants {
+		want := map[string]int64{"t": 3, "u": 1}[ts.Tenant]
+		if ts.Admitted != want || ts.Succeeded != want {
+			t.Errorf("tenant %s: admitted=%d succeeded=%d, want %d", ts.Tenant, ts.Admitted, ts.Succeeded, want)
+		}
+		if ts.Tenant == "t" && ts.RejectedQueueFull != 1 {
+			t.Errorf("tenant t: rejectedQueueFull=%d, want 1", ts.RejectedQueueFull)
+		}
+		if ts.Tenant == "u" && ts.RejectedOverQuota != 1 {
+			t.Errorf("tenant u: rejectedOverQuota=%d, want 1", ts.RejectedOverQuota)
+		}
+	}
+}
+
+// TestDynamicTenants: unknown tenants are materialised on first submit
+// when enabled.
+func TestDynamicTenants(t *testing.T) {
+	resetGate()
+	plat := platform.New(platform.Fast(4))
+	defer plat.Stop()
+	svc := service.New(plat, service.Config{AllowDynamicTenants: true})
+	defer svc.Close()
+
+	sub, err := svc.Submit("walk-in", noopDAG("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := sub.Wait(); res.Status != am.DAGSucceeded {
+		t.Fatalf("dynamic tenant DAG: %v (%v)", res.Status, res.Err)
+	}
+	if _, err := svc.Submit("", noopDAG("d")); !errors.Is(err, service.ErrUnknownTenant) {
+		t.Fatalf("empty tenant name: got %v, want ErrUnknownTenant", err)
+	}
+}
+
+// TestSubmissionDeadline: a service-level deadline kills an overdue DAG
+// with a result classifiable as am.ErrDeadlineExceeded, and the tenant
+// default applies when no per-submission deadline is given.
+func TestSubmissionDeadline(t *testing.T) {
+	resetGate() // gate stays closed: the DAG can only end by deadline
+	plat := platform.New(platform.Fast(4))
+	defer plat.Stop()
+	svc := service.New(plat, service.Config{
+		Tenants: []service.TenantConfig{
+			{Name: "t"},
+			{Name: "slow", Deadline: 30 * time.Millisecond},
+		},
+	})
+	defer svc.Close()
+
+	sub, err := svc.Submit("t", gateDAG("overdue"), service.WithDeadline(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sub.Wait()
+	if res.Status != am.DAGKilled || !errors.Is(res.Err, am.ErrDeadlineExceeded) {
+		t.Fatalf("deadline result: %v (%v), want DAGKilled/ErrDeadlineExceeded", res.Status, res.Err)
+	}
+
+	sub, err = svc.Submit("slow", gateDAG("tenant-default"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = sub.Wait()
+	if res.Status != am.DAGKilled || !errors.Is(res.Err, am.ErrDeadlineExceeded) {
+		t.Fatalf("tenant-default deadline: %v (%v), want DAGKilled/ErrDeadlineExceeded", res.Status, res.Err)
+	}
+}
+
+// TestDrainKill: kill-policy drain fails queued work with ErrDraining and
+// kills running DAGs; every admitted submission still reaches a terminal
+// result.
+func TestDrainKill(t *testing.T) {
+	_, started := resetGate()
+	plat := platform.New(platform.Fast(4))
+	defer plat.Stop()
+	svc := service.New(plat, service.Config{
+		Tenants: []service.TenantConfig{{Name: "t", QueueDepth: 8, Workers: 1}},
+	})
+
+	var subs []*service.Submission
+	run, err := svc.Submit("t", gateDAG("running"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs = append(subs, run)
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("running DAG never started")
+	}
+	for i := 0; i < 3; i++ {
+		sub, err := svc.Submit("t", gateDAG(fmt.Sprintf("q%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+
+	svc.Drain(service.DrainKill)
+	for i, sub := range subs {
+		res := sub.Wait()
+		if res.Status != am.DAGKilled {
+			t.Errorf("submission %d: status %v (%v), want DAGKilled", i, res.Status, res.Err)
+		}
+	}
+	if st := svc.Snapshot(); st.InFlight != 0 {
+		t.Fatalf("in-flight after kill-drain: %d", st.InFlight)
+	}
+	svc.Close()
+}
+
+// TestServiceSoak is the leak gate: a burst of multi-tenant load followed
+// by a graceful drain must return the process to its pre-service
+// goroutine count and leave the RM empty.
+func TestServiceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	resetGate()
+	plat := platform.New(platform.Fast(8))
+	defer plat.Stop()
+	time.Sleep(10 * time.Millisecond)
+	before := runtime.NumGoroutine()
+
+	svc := service.New(plat, service.Config{
+		Tenants: []service.TenantConfig{
+			{Name: "a", Weight: 2, Workers: 4},
+			{Name: "b", Weight: 1, Workers: 4},
+		},
+		MaxInFlight: 64,
+	})
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"a", "b"} {
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(tenant string, c int) {
+				defer wg.Done()
+				for i := 0; i < 40; i++ {
+					sub, err := svc.Submit(tenant, noopDAG(fmt.Sprintf("soak-%d-%d", c, i)))
+					if err != nil {
+						continue // typed shed under burst: expected
+					}
+					sub.Wait()
+				}
+			}(tenant, c)
+		}
+	}
+	wg.Wait()
+	svc.Drain(service.DrainFinish)
+	svc.Close()
+
+	if used := plat.RM.UsedResources(); !used.IsZero() {
+		t.Fatalf("RM still holds resources after drain: %v", used)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,70 @@
+package timeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTagStreamAttributesEvents: one TagStream at submission stamps the
+// whole run stream; explicit tenants win; untagged streams stay blank.
+func TestTagStreamAttributesEvents(t *testing.T) {
+	j := New()
+	j.TagStream("acme.wc.1", "acme")
+
+	j.Record(Event{Type: DAGSubmitted, DAG: "acme.wc.1"})
+	j.Record(Event{Type: VertexStarted, DAG: "acme.wc.1", Vertex: "map"})
+	j.Record(Event{Type: DAGSubmitted, DAG: "other.wc.1"})
+	j.Record(Event{Type: ContainerAllocated, Tenant: "explicit"}) // cluster stream, stamped by the recorder
+
+	evs := j.Events()
+	if evs[0].Tenant != "acme" || evs[1].Tenant != "acme" {
+		t.Fatalf("tagged stream events carry tenants %q/%q, want acme", evs[0].Tenant, evs[1].Tenant)
+	}
+	if evs[2].Tenant != "" {
+		t.Fatalf("untagged stream inherited tenant %q", evs[2].Tenant)
+	}
+	if evs[3].Tenant != "explicit" {
+		t.Fatalf("explicit tenant overwritten to %q", evs[3].Tenant)
+	}
+
+	got := FilterTenant(evs, "acme")
+	if len(got) != 2 {
+		t.Fatalf("FilterTenant(acme) = %d events, want 2", len(got))
+	}
+	for _, e := range got {
+		if e.DAG != "acme.wc.1" {
+			t.Fatalf("filter leaked event from stream %q", e.DAG)
+		}
+	}
+}
+
+// TestTenantJSONLRoundTrip: the tenant survives JSONL export/import and
+// the field is omitted entirely for untenanted events (wire-format
+// stability with pre-tenant journals).
+func TestTenantJSONLRoundTrip(t *testing.T) {
+	j := New()
+	j.TagStream("acme.wc.1", "acme")
+	j.Record(Event{Type: DAGSubmitted, DAG: "acme.wc.1"})
+	j.Record(Event{Type: DAGSubmitted, DAG: "plain.wc.1"})
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, j.Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[0], `"tenant":"acme"`) {
+		t.Fatalf("tenant missing from JSONL: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "tenant") {
+		t.Fatalf("empty tenant serialized: %s", lines[1])
+	}
+
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Tenant != "acme" || back[1].Tenant != "" {
+		t.Fatalf("round trip tenants = %q/%q", back[0].Tenant, back[1].Tenant)
+	}
+}

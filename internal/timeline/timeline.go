@@ -107,6 +107,7 @@ type Event struct {
 	Dur       time.Duration `json:"dur,omitempty"`
 	Type      Type          `json:"type"`
 	DAG       string        `json:"dag,omitempty"`
+	Tenant    string        `json:"tenant,omitempty"`
 	Vertex    string        `json:"vertex,omitempty"`
 	Task      int           `json:"task"`
 	Attempt   int           `json:"attempt"`
@@ -132,6 +133,10 @@ type Journal struct {
 	now     Clock
 	events  []Event
 	nextSeq map[string]uint64 // per-run stream → next sequence number
+	// streamTenant maps a run stream (DAG id) to its tenant; Record fills
+	// Event.Tenant from it when the recording layer did not, so one
+	// TagStream at submission tags the whole stream.
+	streamTenant map[string]string
 }
 
 // Option configures a Journal at construction.
@@ -148,7 +153,11 @@ func WithClock(c Clock) Option {
 
 // New returns an empty journal.
 func New(opts ...Option) *Journal {
-	j := &Journal{now: time.Now, nextSeq: make(map[string]uint64)}
+	j := &Journal{
+		now:          time.Now,
+		nextSeq:      make(map[string]uint64),
+		streamTenant: make(map[string]string),
+	}
 	for _, o := range opts {
 		o(j)
 	}
@@ -165,10 +174,37 @@ func (j *Journal) Record(e Event) {
 	defer j.mu.Unlock()
 	j.nextSeq[e.DAG]++
 	e.Seq = j.nextSeq[e.DAG]
+	if e.Tenant == "" && e.DAG != "" {
+		e.Tenant = j.streamTenant[e.DAG]
+	}
 	if e.Wall.IsZero() {
 		e.Wall = j.now()
 	}
 	j.events = append(j.events, e)
+}
+
+// TagStream attributes a run stream (DAG id) to a tenant: subsequent
+// Records into that stream inherit the tenant unless they set their own.
+// Call it before the stream's first event (the AM does, at submission).
+func (j *Journal) TagStream(dag, tenant string) {
+	if j == nil || dag == "" || tenant == "" {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.streamTenant[dag] = tenant
+}
+
+// FilterTenant returns the events attributed to the given tenant, in the
+// original order.
+func FilterTenant(events []Event, tenant string) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Tenant == tenant {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Len returns the number of recorded events.
