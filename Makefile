@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check bench bench-shuffle bench-controlplane bench-service fuzz-short chaos trace
+.PHONY: build vet lint test race check bench bench-shuffle bench-controlplane bench-service bench-graph fuzz-short chaos trace
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,15 @@ bench-controlplane:
 # BENCH_service.json. CI uploads the JSON as an artifact.
 bench-service:
 	$(GO) run ./cmd/tez-bench -exp service -service-json BENCH_service.json
+
+# bench-graph runs the BSP graph engine: PageRank with the registry-cached
+# vs cold-load ablation (identical fixed-horizon runs, the only difference
+# is whether compute tasks may reuse cached partition snapshots), plus
+# connected components and SSSP with vote-to-halt termination. Persists
+# supersteps/sec, messages/sec and the ablation to BENCH_graph.json; CI
+# uploads the JSON as an artifact.
+bench-graph:
+	$(GO) run ./cmd/tez-bench -exp graph -graph-json BENCH_graph.json
 
 # fuzz-short gives the record-framing decoders a brief coverage-guided
 # shake on every run (the checked-in corpus under testdata/fuzz replays

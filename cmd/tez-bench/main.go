@@ -20,10 +20,11 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small | full")
-	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,chaos,ablations,shuffle-sort,shuffle-codec,controlplane,controlplane-quick,service")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: f8,f9,f10,f11,f12,f13,chaos,ablations,shuffle-sort,shuffle-codec,controlplane,controlplane-quick,service,graph")
 	shuffleJSON := flag.String("shuffle-json", "", "write shuffle-sort/shuffle-codec results to this JSON file")
 	cpJSON := flag.String("controlplane-json", "", "write control-plane results to this JSON file")
 	serviceJSON := flag.String("service-json", "", "write multi-tenant service results to this JSON file")
+	graphJSON := flag.String("graph-json", "", "write BSP graph-engine results to this JSON file")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -160,6 +161,30 @@ func main() {
 				log.Fatalf("service-json: %v", err)
 			}
 			fmt.Printf("wrote %s\n", *serviceJSON)
+		}
+	}
+
+	// BSP graph engine (ISSUE 8). Opt-in like controlplane/service: the
+	// superstep loops and the cold-load ablation are load, not a figure.
+	if want["graph"] {
+		rows, err := bench.GraphResults()
+		if err != nil {
+			log.Fatalf("graph: %v", err)
+		}
+		fmt.Println(bench.GraphReport(rows))
+		if *graphJSON != "" {
+			var payload struct {
+				Current []bench.GraphBenchResult `json:"current"`
+			}
+			payload.Current = rows
+			blob, err := json.MarshalIndent(payload, "", "  ")
+			if err != nil {
+				log.Fatalf("graph-json: %v", err)
+			}
+			if err := os.WriteFile(*graphJSON, append(blob, '\n'), 0o644); err != nil {
+				log.Fatalf("graph-json: %v", err)
+			}
+			fmt.Printf("wrote %s\n", *graphJSON)
 		}
 	}
 

@@ -1,0 +1,82 @@
+// graph_cc: connected components by min-label propagation (HashMin) on
+// the BSP graph engine. Pure vote-to-halt termination: every vertex halts
+// each superstep and is reawakened only by a smaller incoming label, so
+// the session loop ends the moment no label moves.
+//
+//	go run ./examples/graph_cc
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"tez/internal/am"
+	"tez/internal/graph"
+	"tez/internal/platform"
+)
+
+func main() {
+	plat := platform.New(platform.Default(4))
+	defer plat.Stop()
+
+	// Three islands of very different sizes, each a ring with chords, plus
+	// a sprinkle of isolated vertices.
+	g := graph.NewGraph()
+	addIsland := func(base, n int64, seed int64) {
+		island := graph.Generate(int(n), 4, seed)
+		for _, id := range island.VertexIDs() {
+			for _, e := range island.Edges(id) {
+				if err := g.AddUndirectedEdge(base+id, base+e.To, 1); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	addIsland(0, 3000, 1)
+	addIsland(10000, 500, 2)
+	addIsland(20000, 40, 3)
+	for i := int64(0); i < 5; i++ {
+		if err := g.AddVertex(30000 + i); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sess := am.NewSession(plat, am.Config{
+		Name:                 "cc",
+		PrewarmContainers:    2,
+		ContainerIdleRelease: 500 * time.Millisecond,
+	})
+	defer sess.Close()
+
+	start := time.Now()
+	res, err := graph.Run(sess, plat, graph.Job{
+		Name:    "cc",
+		Program: graph.CCProgram,
+		Graph:   g,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d vertices labelled in %d supersteps (%v), converged=%v\n\n",
+		len(res.Values), res.Supersteps, time.Since(start).Round(time.Millisecond), res.Converged)
+
+	sizes := map[int64]int{}
+	for _, label := range res.Values {
+		sizes[int64(label)]++
+	}
+	labels := make([]int64, 0, len(sizes))
+	for l := range sizes {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return sizes[labels[i]] > sizes[labels[j]] })
+	fmt.Printf("found %d components:\n", len(sizes))
+	for i, l := range labels {
+		if i == 8 {
+			fmt.Printf("  … and %d more singletons\n", len(labels)-i)
+			break
+		}
+		fmt.Printf("  component min-id %5d: %5d vertices\n", l, sizes[l])
+	}
+}

@@ -379,9 +379,31 @@ func (r *dagRun) vertexSucceeded(vs *vertexState) {
 	if len(vs.v.Sinks) > 0 && !vs.committed {
 		vs.committed = true
 		r.pendingCommits++
+		// Snapshot the winning attempts on the event loop, not inside the
+		// commit goroutine: a node failure can roll a succeeded task back
+		// (reexecuteTask, for ephemeral-edge consumers) while the commit is
+		// in flight, nilling ts.winner under it. The attempts that were
+		// winners at success time wrote their sink temp files to reliable
+		// storage, so committing them stays correct regardless of later
+		// re-execution for shuffle regeneration.
+		success := make(map[int]int, len(vs.tasks))
+		var missing error
+		for _, ts := range vs.tasks {
+			if ts.winner != nil {
+				success[ts.idx] = ts.winner.id
+			} else if ts.restored {
+				success[ts.idx] = ts.restoredAttempt
+			} else {
+				missing = fmt.Errorf("am: commit %s: task %d has no successful attempt", vs.v.Name, ts.idx)
+				break
+			}
+		}
 		vsCopy := vs
 		go func() {
-			err := r.commitSinks(vsCopy)
+			err := missing
+			if err == nil {
+				err = r.commitSinks(vsCopy, success)
+			}
 			r.mb.Put(msgCommitDone{vs: vsCopy, err: err})
 		}()
 	}
@@ -397,18 +419,9 @@ func (r *dagRun) vertexSucceeded(vs *vertexState) {
 	r.maybeFinish()
 }
 
-// commitSinks runs each sink's committer exactly once (§3.1).
-func (r *dagRun) commitSinks(vs *vertexState) error {
-	success := make(map[int]int, len(vs.tasks))
-	for _, ts := range vs.tasks {
-		if ts.winner != nil {
-			success[ts.idx] = ts.winner.id
-		} else if ts.restored {
-			success[ts.idx] = ts.restoredAttempt
-		} else {
-			return fmt.Errorf("am: commit %s: task %d has no successful attempt", vs.v.Name, ts.idx)
-		}
-	}
+// commitSinks runs each sink's committer exactly once (§3.1), with the
+// success map captured when the vertex first succeeded.
+func (r *dagRun) commitSinks(vs *vertexState, success map[int]int) error {
 	for _, sink := range vs.v.Sinks {
 		if sink.Committer.IsZero() {
 			continue

@@ -1,0 +1,46 @@
+package am
+
+import (
+	"fmt"
+
+	"tez/internal/dag"
+)
+
+// RunLoop is the blessed pattern for iterative drivers on a session
+// (§4.2: "Each iteration can be represented as a new DAG and submitted to
+// a shared session for efficient execution"): build constructs iteration
+// it's DAG, the session runs it, and after inspects the result — reading
+// back whatever the iteration materialised — and reports whether the loop
+// has converged. A nil after just runs all max iterations.
+//
+// RunLoop returns the number of iterations that ran. A submission error,
+// a non-succeeded DAG status, or an error from build/after stops the loop
+// immediately; convergence (after returning done) stops it without
+// building — let alone scheduling — another iteration.
+func (s *Session) RunLoop(max int,
+	build func(it int) (*dag.DAG, error),
+	after func(it int, res DAGResult) (done bool, err error)) (int, error) {
+	for it := 0; it < max; it++ {
+		d, err := build(it)
+		if err != nil {
+			return it, fmt.Errorf("am: loop iteration %d: %w", it, err)
+		}
+		res, err := s.Run(d)
+		if err != nil {
+			return it, fmt.Errorf("am: loop iteration %d: %w", it, err)
+		}
+		if res.Status != DAGSucceeded {
+			return it, fmt.Errorf("am: loop iteration %d: status %v", it, res.Status)
+		}
+		if after != nil {
+			done, err := after(it, res)
+			if err != nil {
+				return it + 1, fmt.Errorf("am: loop iteration %d: %w", it, err)
+			}
+			if done {
+				return it + 1, nil
+			}
+		}
+	}
+	return max, nil
+}

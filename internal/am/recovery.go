@@ -166,9 +166,24 @@ func (r *dagRun) applyCheckpoint(cp *checkpoint) {
 		if len(vs.v.Sinks) > 0 && !vc.Committed {
 			vs.committed = true
 			r.pendingCommits++
+			success := make(map[int]int, len(vs.tasks))
+			var missing error
+			for _, ts := range vs.tasks {
+				if ts.winner != nil {
+					success[ts.idx] = ts.winner.id
+				} else if ts.restored {
+					success[ts.idx] = ts.restoredAttempt
+				} else {
+					missing = fmt.Errorf("am: commit %s: task %d has no successful attempt", vs.v.Name, ts.idx)
+					break
+				}
+			}
 			vsCopy := vs
 			go func() {
-				err := r.commitSinks(vsCopy)
+				err := missing
+				if err == nil {
+					err = r.commitSinks(vsCopy, success)
+				}
 				r.mb.Put(msgCommitDone{vs: vsCopy, err: err})
 			}()
 		}

@@ -1,0 +1,76 @@
+package am
+
+import (
+	"testing"
+	"time"
+
+	"tez/internal/dag"
+	"tez/internal/plugin"
+	"tez/internal/runtime"
+)
+
+// regProbe exercises ObjectRegistry lifetimes end-to-end: every run first
+// probes for the entries a previous task may have cached, then caches one
+// entry per lifetime. Counter deltas between DAGs reveal what the
+// framework preserved and what it swept.
+type regProbe struct{ ctx *runtime.Context }
+
+func (p *regProbe) Initialize(ctx *runtime.Context) error { p.ctx = ctx; return nil }
+
+func (p *regProbe) Run(map[string]runtime.Input, map[string]runtime.Output) error {
+	reg := p.ctx.Services.Registry
+	if reg == nil {
+		return nil
+	}
+	if _, ok := reg.Get(p.ctx.Meta, "probe.session"); ok {
+		p.ctx.Services.Counters.Add("PROBE_SESSION_HITS", 1)
+	}
+	if _, ok := reg.Get(p.ctx.Meta, "probe.dag"); ok {
+		p.ctx.Services.Counters.Add("PROBE_DAG_HITS", 1)
+	}
+	reg.Add(runtime.LifetimeSession, p.ctx.Meta, "probe.session", 1)
+	reg.Add(runtime.LifetimeDAG, p.ctx.Meta, "probe.dag", 1)
+	return nil
+}
+
+func (p *regProbe) Close() error { return nil }
+
+// TestRegistryLifetimesAcrossSessionDAGs: in one session with container
+// reuse, a session-lifetime entry cached by DAG 1 must be visible to DAG 2
+// in the same container, while a DAG-lifetime entry must have been swept
+// when DAG 1 finished.
+func TestRegistryLifetimesAcrossSessionDAGs(t *testing.T) {
+	runtime.RegisterProcessor("amtest.regprobe", func() runtime.Processor { return &regProbe{} })
+	plat := newTestPlatform(1) // one node → the reused container is the only home
+	defer plat.Stop()
+	s := NewSession(plat, Config{Name: "reglife", ContainerIdleRelease: 2 * time.Second})
+	defer s.Close()
+
+	probeDAG := func(name string) *dag.DAG {
+		d := dag.New(name)
+		d.AddVertex("probe", plugin.Desc("amtest.regprobe", nil), 1)
+		return d
+	}
+
+	res1, err := s.Run(probeDAG("probe1"))
+	if err != nil || res1.Status != DAGSucceeded {
+		t.Fatalf("dag1: %v %v", res1.Status, err)
+	}
+	if res1.Counters.Get("PROBE_SESSION_HITS") != 0 || res1.Counters.Get("PROBE_DAG_HITS") != 0 {
+		t.Fatal("first DAG saw entries in a fresh registry")
+	}
+
+	res2, err := s.Run(probeDAG("probe2"))
+	if err != nil || res2.Status != DAGSucceeded {
+		t.Fatalf("dag2: %v %v", res2.Status, err)
+	}
+	if got := res2.Counters.Get("PROBE_SESSION_HITS"); got != 1 {
+		t.Fatalf("session-lifetime entry did not survive across DAGs (hits=%d)", got)
+	}
+	if got := res2.Counters.Get("PROBE_DAG_HITS"); got != 0 {
+		t.Fatalf("DAG-lifetime entry leaked across DAGs (hits=%d)", got)
+	}
+	if _, reused := s.SchedulerStats(); reused == 0 {
+		t.Fatal("no container reuse — the test proved nothing")
+	}
+}

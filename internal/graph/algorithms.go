@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"math"
+
+	"tez/internal/plugin"
+)
+
+// Built-in vertex programs. Each is a few dozen lines against the Program
+// contract — the point of the exercise: the BSP engine underneath is the
+// same session-DAG machinery every other workload uses.
+const (
+	PageRankProgram = "graph.pagerank"
+	CCProgram       = "graph.cc"
+	SSSPProgram     = "graph.sssp"
+)
+
+func init() {
+	RegisterProgram(PageRankProgram, func() Program { return &pageRank{} })
+	RegisterProgram(CCProgram, func() Program { return &connectedComponents{} })
+	RegisterProgram(SSSPProgram, func() Program { return &shortestPaths{} })
+}
+
+// PageRankConfig parameterises the PageRank program.
+type PageRankConfig struct {
+	// Damping is the damping factor d (default 0.85).
+	Damping float64
+	// Epsilon stops the iteration once the summed |rank delta| of a
+	// superstep drops to or below it (default 1e-9 * N at run time; set
+	// negative to disable and run MaxSupersteps rounds).
+	Epsilon float64
+}
+
+const (
+	aggPRDelta    = "pr.delta"
+	aggPRDangling = "pr.dangling"
+)
+
+// pageRank iterates r = (1-d)/N + d*(Σ incoming r/outdeg + dangling/N).
+// Dangling mass is collected through an aggregator, so (as in the original
+// Pregel formulation) it reaches the other vertices one superstep late —
+// the ranks still converge to the same fixed point. Vertices never vote to
+// halt; termination is the pr.delta Converged predicate.
+type pageRank struct {
+	cfg PageRankConfig
+}
+
+func (p *pageRank) Configure(payload []byte) error {
+	return plugin.Decode(payload, &p.cfg)
+}
+
+func (p *pageRank) damping() float64 {
+	if p.cfg.Damping <= 0 || p.cfg.Damping >= 1 {
+		return 0.85
+	}
+	return p.cfg.Damping
+}
+
+func (p *pageRank) InitialValue(id int64, info GraphInfo) float64 {
+	return 1 / float64(info.NumVertices)
+}
+
+func (p *pageRank) Combiner() Combiner { return CombineSum }
+
+func (p *pageRank) Aggregators() []AggSpec {
+	return []AggSpec{{Name: aggPRDelta, Kind: AggSum}, {Name: aggPRDangling, Kind: AggSum}}
+}
+
+func (p *pageRank) Compute(c *ComputeContext, v *Vertex, msgs []float64) error {
+	n := float64(c.NumVertices())
+	d := p.damping()
+	if c.Superstep() > 0 {
+		sum := 0.0
+		for _, m := range msgs {
+			sum += m
+		}
+		next := (1-d)/n + d*(sum+c.Agg(aggPRDangling)/n)
+		c.Aggregate(aggPRDelta, math.Abs(next-v.Value))
+		v.Value = next
+	}
+	if len(v.Edges) == 0 {
+		c.Aggregate(aggPRDangling, v.Value)
+		return nil
+	}
+	share := v.Value / float64(len(v.Edges))
+	for _, e := range v.Edges {
+		c.Send(e.To, share)
+	}
+	return nil
+}
+
+func (p *pageRank) Converged(superstep int, agg map[string]float64) bool {
+	if superstep == 0 {
+		return false // no delta yet
+	}
+	eps := p.cfg.Epsilon
+	if eps == 0 {
+		eps = 1e-9
+	}
+	return eps > 0 && agg[aggPRDelta] <= eps
+}
+
+// connectedComponents propagates the minimum vertex id seen so far as the
+// component label (HashMin). Pure vote-to-halt termination: a vertex wakes
+// only when a smaller label arrives, and the run ends when no labels move.
+type connectedComponents struct{}
+
+func (*connectedComponents) InitialValue(id int64, info GraphInfo) float64 {
+	return float64(id)
+}
+
+func (*connectedComponents) Combiner() Combiner { return CombineMin }
+
+func (*connectedComponents) Compute(c *ComputeContext, v *Vertex, msgs []float64) error {
+	improved := c.Superstep() == 0
+	for _, m := range msgs {
+		if m < v.Value {
+			v.Value = m
+			improved = true
+		}
+	}
+	if improved {
+		for _, e := range v.Edges {
+			c.Send(e.To, v.Value)
+		}
+	}
+	c.VoteToHalt()
+	return nil
+}
+
+// SSSPConfig parameterises the single-source shortest-paths program.
+type SSSPConfig struct {
+	// Source is the origin vertex; every other vertex starts at +Inf.
+	Source int64
+}
+
+// shortestPaths is Bellman-Ford-style relaxation: a vertex whose distance
+// improved relaxes all out-edges, everyone votes to halt, and the frontier
+// of reawakened vertices shrinks until no distance moves. Unreachable
+// vertices finish at +Inf.
+type shortestPaths struct {
+	cfg SSSPConfig
+}
+
+func (s *shortestPaths) Configure(payload []byte) error {
+	return plugin.Decode(payload, &s.cfg)
+}
+
+func (s *shortestPaths) InitialValue(id int64, info GraphInfo) float64 {
+	if id == s.cfg.Source {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+func (s *shortestPaths) Combiner() Combiner { return CombineMin }
+
+func (s *shortestPaths) Compute(c *ComputeContext, v *Vertex, msgs []float64) error {
+	improved := c.Superstep() == 0 && !math.IsInf(v.Value, 1)
+	for _, m := range msgs {
+		if m < v.Value {
+			v.Value = m
+			improved = true
+		}
+	}
+	if improved {
+		for _, e := range v.Edges {
+			c.Send(e.To, v.Value+e.Weight)
+		}
+	}
+	c.VoteToHalt()
+	return nil
+}

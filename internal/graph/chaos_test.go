@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"tez/internal/am"
+	"tez/internal/chaos"
+	"tez/internal/platform"
+)
+
+// The graph engine's fault-tolerance gate, mirroring the golden chaos
+// suite: PageRank under five seeded fault schedules must produce final
+// ranks byte-identical to a fault-free run. Everything the engine does to
+// earn this is deliberate — immutable per-superstep snapshots (a retried
+// attempt rebuilds from durable state, never from a half-mutated cache),
+// sorted-run combiner folds, and inbox-layout-independent delivery (the
+// compute side reads every inbox file and filters by partition, so an
+// auto-parallelism decision that differs under chaos cannot change what
+// any vertex receives).
+
+func chaosJob(name string) Job {
+	return Job{
+		Name: name,
+		// Regenerated per run (deterministic seed) rather than shared: each
+		// run must rebuild identical inputs from scratch, like a resubmitted
+		// production job would.
+		Graph:   Generate(800, 5, 21),
+		Program: PageRankProgram,
+		// A fixed 12-superstep run: convergence timing is itself part of
+		// what must not drift under faults, but a fixed horizon makes the
+		// comparison independent of epsilon-edge effects.
+		ProgramConfig: PageRankConfig{Damping: 0.85, Epsilon: -1},
+		MaxSupersteps: 12,
+		Partitions:    4,
+	}
+}
+
+func runChaosPageRank(t *testing.T, plane *chaos.Plane, amCfg am.Config, job Job) *Result {
+	t.Helper()
+	cfg := platform.Fast(8)
+	cfg.Chaos = plane
+	plat := platform.New(cfg)
+	defer plat.Stop()
+	sess := am.NewSession(plat, amCfg)
+	defer sess.Close()
+	res, err := Run(sess, plat, job)
+	if err != nil {
+		t.Fatalf("pagerank under chaos: %v", err)
+	}
+	return res
+}
+
+func graphTotalInjected(p *chaos.Plane) int64 {
+	var n int64
+	for _, v := range p.Injected() {
+		n += v
+	}
+	return n
+}
+
+// TestChaosSuperstepDeterminism: five seeded schedules (fetch, task,
+// launch and DFS-read faults, with rotating whole-node events) vs a
+// fault-free baseline, compared by CanonicalBytes.
+func TestChaosSuperstepDeterminism(t *testing.T) {
+	baseline := runChaosPageRank(t, nil,
+		am.Config{Name: "clean", ContainerIdleRelease: 2 * time.Second}, chaosJob("pr-clean"))
+	want := baseline.CanonicalBytes()
+	if len(want) != 16*800 {
+		t.Fatalf("baseline canonical bytes = %d", len(want))
+	}
+
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			spec := chaos.Spec{
+				TransientFetchProb: 0.20,
+				FetchDataLostProb:  0.03,
+				LaunchFailProb:     0.05,
+				TaskFaultProb:      0.05,
+				DFSReadFaultProb:   0.02,
+				StepSpacing:        3,
+			}
+			amCfg := am.Config{
+				Name:                 "graph-chaos",
+				MaxTaskAttempts:      8,
+				ContainerIdleRelease: 2 * time.Second,
+			}
+			switch seed % 3 {
+			case 0:
+				spec.CrashNodes = 1 // Replication-1 on the Fast platform
+			case 1:
+				spec.DecommissionNodes = 1
+			case 2:
+				spec.SlowNodeCount = 1
+				spec.SlowExecDelay = 2 * time.Millisecond
+				spec.SlowFetchFactor = 3
+				amCfg.Speculation = true
+			}
+			plane := chaos.New(seed, spec)
+			res := runChaosPageRank(t, plane, amCfg, chaosJob(fmt.Sprintf("pr-seed%d", seed)))
+			if got := res.CanonicalBytes(); !bytes.Equal(got, want) {
+				diff := 0
+				for i := range got {
+					if i < len(want) && got[i] != want[i] {
+						diff++
+					}
+				}
+				t.Errorf("seed %d: final ranks diverge from fault-free run (%d differing bytes of %d)",
+					seed, diff, len(want))
+			}
+			if graphTotalInjected(plane) == 0 {
+				t.Errorf("seed %d injected no faults — schedule too weak to prove anything", seed)
+			}
+			t.Logf("seed %d: %d faults injected over %d supersteps",
+				seed, graphTotalInjected(plane), res.Supersteps)
+		})
+	}
+}
+
+// TestChaosRetryDoesNotObserveMutatedCache targets the sharpest hazard of
+// registry caching: a task fault after the snapshot for superstep k+1 was
+// cached must not let the retry (or any later superstep) observe in-place
+// mutation. High task-fault probability on a long run maximises retries
+// that land on warm containers.
+func TestChaosRetryDoesNotObserveMutatedCache(t *testing.T) {
+	baseline := runChaosPageRank(t, nil,
+		am.Config{Name: "clean2", ContainerIdleRelease: 2 * time.Second}, chaosJob("pr-clean2"))
+	plane := chaos.New(99, chaos.Spec{TaskFaultProb: 0.25, StepSpacing: 2})
+	res := runChaosPageRank(t, plane, am.Config{
+		Name: "retry", MaxTaskAttempts: 10, ContainerIdleRelease: 2 * time.Second,
+	}, chaosJob("pr-retry"))
+	if !bytes.Equal(res.CanonicalBytes(), baseline.CanonicalBytes()) {
+		t.Fatal("retried supersteps observed mutated cached state")
+	}
+	if graphTotalInjected(plane) == 0 {
+		t.Fatal("no task faults injected")
+	}
+	var hits int64
+	for _, s := range res.Stats {
+		hits += s.RegistryHits
+	}
+	if hits == 0 {
+		t.Log("warning: no registry hits under chaos — hazard path not exercised this run")
+	}
+}

@@ -1,0 +1,205 @@
+// Package graph is a Pregel-style BSP graph analytics engine compiled
+// onto Tez session DAGs — the "graph engine as a thin layer over a
+// dataflow engine" design of GraphX and Pregelix, realised with the
+// primitives this repo already has:
+//
+//   - Each superstep is one two-vertex Tez DAG (compute → inbox)
+//     submitted to a shared am.Session, so containers are reused across
+//     supersteps exactly like the sparklike K-means loop (§4.2).
+//   - Graph partitions (vertex values + adjacency) are cached in the
+//     per-container runtime.ObjectRegistry with session lifetime; a
+//     task whose container computed the same partition last superstep
+//     skips the DFS state load entirely. Cold containers fall back to
+//     the durable per-superstep state snapshot in the DFS, so faults
+//     never lose state.
+//   - Only messages cross the shuffle. They are pre-aggregated on the
+//     map side by a typed combiner compiled onto the existing
+//     library.RegisterCombineFunc machinery (PR 5), and the inbox
+//     vertex's parallelism is auto-shrunk from message-volume stats by
+//     the stock ShuffleVertexManager.
+//   - The driver detects convergence from halt votes + message counts
+//     (and an optional program-defined aggregator predicate) and stops
+//     without scheduling an empty trailing superstep.
+//
+// See DESIGN.md §12 for the full architecture.
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tez/internal/library"
+)
+
+// Edge is one directed out-edge of a vertex. Weight is 1 for unweighted
+// graphs.
+type Edge struct {
+	To     int64
+	Weight float64
+}
+
+// Graph is the in-memory input topology handed to the driver, which
+// partitions and materialises it into per-partition DFS state snapshots
+// before superstep 0. The engine treats the topology as static.
+type Graph struct {
+	adj map[int64][]Edge
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{adj: make(map[int64][]Edge)} }
+
+// AddVertex ensures id exists (isolated vertices participate too).
+// Negative ids are rejected: vertex ids are encoded as unsigned
+// big-endian keys so that byte order equals numeric order.
+func (g *Graph) AddVertex(id int64) error {
+	if id < 0 {
+		return fmt.Errorf("graph: negative vertex id %d", id)
+	}
+	if _, ok := g.adj[id]; !ok {
+		g.adj[id] = nil
+	}
+	return nil
+}
+
+// AddEdge adds a directed edge. Both endpoints are created as needed.
+func (g *Graph) AddEdge(from, to int64, weight float64) error {
+	if err := g.AddVertex(from); err != nil {
+		return err
+	}
+	if err := g.AddVertex(to); err != nil {
+		return err
+	}
+	g.adj[from] = append(g.adj[from], Edge{To: to, Weight: weight})
+	return nil
+}
+
+// AddUndirectedEdge adds both directions.
+func (g *Graph) AddUndirectedEdge(a, b int64, weight float64) error {
+	if err := g.AddEdge(a, b, weight); err != nil {
+		return err
+	}
+	return g.AddEdge(b, a, weight)
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int64 { return int64(len(g.adj)) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int64 {
+	var n int64
+	for _, es := range g.adj {
+		n += int64(len(es))
+	}
+	return n
+}
+
+// VertexIDs returns all ids in ascending order.
+func (g *Graph) VertexIDs() []int64 {
+	ids := make([]int64, 0, len(g.adj))
+	for id := range g.adj {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Edges returns the out-edges of id (sorted by destination, for
+// deterministic materialisation).
+func (g *Graph) Edges(id int64) []Edge {
+	es := append([]Edge(nil), g.adj[id]...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].To != es[j].To {
+			return es[i].To < es[j].To
+		}
+		return es[i].Weight < es[j].Weight
+	})
+	return es
+}
+
+// PartitionOf maps a vertex id to its graph partition in [0, parts).
+// This is the single partitioning function of the engine: the driver
+// uses it to materialise state snapshots, and compute tasks use it to
+// filter inbox records — both must agree, so it is the same FNV-1a hash
+// the shuffle's HashPartitioner applies to the encoded vertex key.
+func PartitionOf(id int64, parts int) int {
+	return library.HashPartitioner{}.Partition(vertexKey(id), parts)
+}
+
+// ParseEdgeList parses a whitespace-separated edge list: one "src dst
+// [weight]" triple per line, '#' starting a comment, a bare "v id" line
+// declaring an isolated vertex. Weight defaults to 1.
+func ParseEdgeList(data []byte) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "v" && len(fields) == 2 {
+			id, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			if err := g.AddVertex(id); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			continue
+		}
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", line, text)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			if w, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		}
+		if err := g.AddEdge(src, dst, w); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Generate builds a deterministic pseudo-random connected digraph for
+// benchmarks and examples: a ring (so every vertex is reachable and CC
+// converges to one component) plus avgDegree-1 random chords per
+// vertex. Weights are uniform in (0, 10].
+func Generate(n int, avgDegree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		_ = g.AddEdge(int64(i), int64((i+1)%n), 1+rng.Float64()*9)
+		for d := 1; d < avgDegree; d++ {
+			to := int64(rng.Intn(n))
+			if to == int64(i) {
+				to = (to + 1) % int64(n)
+			}
+			_ = g.AddEdge(int64(i), to, 1+rng.Float64()*9)
+		}
+	}
+	return g
+}

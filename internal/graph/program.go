@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GraphInfo is the static topology summary every compute call can see.
+type GraphInfo struct {
+	NumVertices int64
+	NumEdges    int64
+}
+
+// Vertex is the runtime view of one vertex handed to Program.Compute.
+// Value may be mutated; Edges is the static out-adjacency and must not be.
+type Vertex struct {
+	ID    int64
+	Value float64
+	Edges []Edge
+}
+
+// Combiner names the typed message pre-aggregator of a program. It is
+// applied twice: map-side through the shuffle's RegisterCombineFunc hook
+// (cutting what crosses the wire) and again at the inbox when folding a
+// key's surviving values into the single message the next superstep reads.
+type Combiner int
+
+const (
+	// CombineNone delivers every message individually.
+	CombineNone Combiner = iota
+	// CombineSum folds messages by addition (PageRank contributions).
+	CombineSum
+	// CombineMin keeps the minimum (SSSP distances, CC labels).
+	CombineMin
+	// CombineMax keeps the maximum.
+	CombineMax
+)
+
+// FuncName returns the registered library combine-func name, or "" for
+// CombineNone.
+func (c Combiner) FuncName() string {
+	switch c {
+	case CombineSum:
+		return "graph.combine.sum"
+	case CombineMin:
+		return "graph.combine.min"
+	case CombineMax:
+		return "graph.combine.max"
+	default:
+		return ""
+	}
+}
+
+// fold returns the binary fold of the combiner, or nil for CombineNone.
+func (c Combiner) fold() func(a, b float64) float64 {
+	switch c {
+	case CombineSum:
+		return func(a, b float64) float64 { return a + b }
+	case CombineMin:
+		return math.Min
+	case CombineMax:
+		return math.Max
+	default:
+		return nil
+	}
+}
+
+// AggKind is how a global aggregator folds per-task partials.
+type AggKind int
+
+const (
+	// AggSum adds partials.
+	AggSum AggKind = iota
+	// AggMin keeps the minimum partial.
+	AggMin
+	// AggMax keeps the maximum partial.
+	AggMax
+)
+
+func (k AggKind) fold() func(a, b float64) float64 {
+	switch k {
+	case AggMin:
+		return math.Min
+	case AggMax:
+		return math.Max
+	default:
+		return func(a, b float64) float64 { return a + b }
+	}
+}
+
+// AggSpec declares one named global aggregator of a program.
+type AggSpec struct {
+	Name string
+	Kind AggKind
+}
+
+// Built-in aggregators the engine always maintains; the driver's halt
+// protocol reads them. Programs must not aggregate under these names.
+const (
+	// AggActive counts vertices whose Compute ran this superstep.
+	AggActive = "graph.active"
+	// AggSent counts messages sent this superstep (pre-combine).
+	AggSent = "graph.sent"
+	// AggHalted counts vertices halted at the end of this superstep.
+	AggHalted = "graph.halted"
+)
+
+// Program is the Pregel vertex-program contract (Malewicz et al., via the
+// GraphX/Pregelix "thin layer over a dataflow engine" reading): the engine
+// calls Compute on every active vertex each superstep, messages sent in
+// superstep S arrive at superstep S+1, and the computation ends when every
+// vertex has voted to halt and no messages are in flight.
+type Program interface {
+	// InitialValue seeds id's value before superstep 0.
+	InitialValue(id int64, info GraphInfo) float64
+	// Compute processes one active vertex: read msgs (delivered from the
+	// previous superstep, post-combine), mutate v.Value, send messages and
+	// aggregate through c, optionally vote to halt.
+	Compute(c *ComputeContext, v *Vertex, msgs []float64) error
+	// Combiner declares how messages to the same vertex are merged.
+	Combiner() Combiner
+}
+
+// Configurable programs receive the job's encoded ProgramConfig before any
+// other call (both driver-side and inside each task).
+type Configurable interface {
+	Configure(payload []byte) error
+}
+
+// Aggregating programs declare custom global aggregators; their folded
+// values from superstep S are readable via ComputeContext.Agg at S+1.
+type Aggregating interface {
+	Aggregators() []AggSpec
+}
+
+// Converger programs terminate the loop early: the driver calls Converged
+// after folding superstep's aggregators, and stops scheduling further
+// supersteps when it reports true. (Vote-to-halt termination — all halted,
+// nothing sent — applies regardless.)
+type Converger interface {
+	Converged(superstep int, agg map[string]float64) bool
+}
+
+// ComputeContext is the per-superstep API surface of Compute.
+type ComputeContext struct {
+	superstep int
+	info      GraphInfo
+	agg       map[string]float64 // folded globals of the previous superstep
+	kinds     map[string]AggKind
+	partial   map[string]float64 // this task's aggregator partials
+	send      func(dst int64, val float64) error
+	sent      int64
+	halt      bool
+	err       error
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *ComputeContext) Superstep() int { return c.superstep }
+
+// NumVertices returns the graph's vertex count.
+func (c *ComputeContext) NumVertices() int64 { return c.info.NumVertices }
+
+// NumEdges returns the graph's directed edge count.
+func (c *ComputeContext) NumEdges() int64 { return c.info.NumEdges }
+
+// Agg returns the named aggregator's folded global value from the previous
+// superstep (0 when it was not aggregated).
+func (c *ComputeContext) Agg(name string) float64 { return c.agg[name] }
+
+// Aggregate folds v into the named aggregator (declared via Aggregators).
+func (c *ComputeContext) Aggregate(name string, v float64) {
+	kind, ok := c.kinds[name]
+	if !ok {
+		if c.err == nil {
+			c.err = fmt.Errorf("graph: aggregate to undeclared aggregator %q", name)
+		}
+		return
+	}
+	if cur, ok := c.partial[name]; ok {
+		c.partial[name] = kind.fold()(cur, v)
+	} else {
+		c.partial[name] = v
+	}
+}
+
+// Send delivers val to vertex dst at the next superstep.
+func (c *ComputeContext) Send(dst int64, val float64) {
+	if err := c.send(dst, val); err != nil && c.err == nil {
+		c.err = err
+	}
+	c.sent++
+}
+
+// VoteToHalt marks this vertex inactive; it is reawakened by any incoming
+// message.
+func (c *ComputeContext) VoteToHalt() { c.halt = true }
+
+// sortedPartials returns this task's aggregator partials in name order
+// (deterministic sink bytes).
+func (c *ComputeContext) sortedPartials() []AggSpec {
+	names := make([]string, 0, len(c.partial))
+	for n := range c.partial {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]AggSpec, len(names))
+	for i, n := range names {
+		out[i] = AggSpec{Name: n, Kind: c.kinds[n]}
+	}
+	return out
+}
+
+// Program registry: programs run inside tasks, so (like combine funcs and
+// processors) they are referenced by registered name in DAG payloads.
+var programs = map[string]func() Program{}
+
+// RegisterProgram installs a program factory under name.
+func RegisterProgram(name string, factory func() Program) {
+	if _, dup := programs[name]; dup {
+		panic(fmt.Sprintf("graph: program %q registered twice", name))
+	}
+	programs[name] = factory
+}
+
+// newProgram instantiates and configures a registered program.
+func newProgram(name string, payload []byte) (Program, error) {
+	f, ok := programs[name]
+	if !ok {
+		return nil, fmt.Errorf("graph: program %q not registered", name)
+	}
+	p := f()
+	if c, ok := p.(Configurable); ok && len(payload) > 0 {
+		if err := c.Configure(payload); err != nil {
+			return nil, fmt.Errorf("graph: configure %q: %w", name, err)
+		}
+	}
+	return p, nil
+}
+
+// aggSpecs returns the program's declared aggregators plus the built-ins.
+func aggSpecs(p Program) []AggSpec {
+	specs := []AggSpec{
+		{Name: AggActive, Kind: AggSum},
+		{Name: AggSent, Kind: AggSum},
+		{Name: AggHalted, Kind: AggSum},
+	}
+	if a, ok := p.(Aggregating); ok {
+		specs = append(specs, a.Aggregators()...)
+	}
+	return specs
+}

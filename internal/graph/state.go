@@ -1,0 +1,284 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tez/internal/dfs"
+	"tez/internal/library"
+)
+
+// On-disk layout under Job.WorkDir (one snapshot/inbox generation per
+// superstep, so any attempt of superstep k can always rebuild from durable
+// state even when its container's registry cache is gone):
+//
+//	state/s<k>/part-<p>   vertex state consumed by superstep k (partition p)
+//	inbox/s<k>/part-*     combined messages consumed by superstep k
+//	agg/s<k>/part-*       aggregator partials produced by superstep k
+//	mstats/s<k>/part-*    inbox message stats produced by superstep k
+//
+// The driver deletes generation k once superstep k has succeeded and its
+// sidecar outputs are folded; only the live frontier stays on the DFS.
+
+func stateDir(work string, step int) string  { return fmt.Sprintf("%s/state/s%03d", work, step) }
+func inboxDir(work string, step int) string  { return fmt.Sprintf("%s/inbox/s%03d", work, step) }
+func aggDir(work string, step int) string    { return fmt.Sprintf("%s/agg/s%03d", work, step) }
+func mstatsDir(work string, step int) string { return fmt.Sprintf("%s/mstats/s%03d", work, step) }
+
+// regKey is the per-container ObjectRegistry key of a partition's decoded
+// state snapshot entering superstep step. Keys are per-superstep because
+// snapshots are immutable: an attempt retry or a speculative twin must
+// never observe another attempt's in-place mutations, so each superstep
+// caches a fresh entry and explicitly deletes its predecessors.
+func regKey(job string, part, step int) string {
+	return fmt.Sprintf("tez.graph/%s/p%03d/s%03d", job, part, step)
+}
+
+// vertexKey encodes a vertex id as an 8-byte big-endian key: byte order
+// equals numeric order, and the shuffle's hash partitioner sees a
+// fixed-width key.
+func vertexKey(id int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return b[:]
+}
+
+func vertexID(key []byte) (int64, error) {
+	if len(key) != 8 {
+		return 0, fmt.Errorf("graph: vertex key of %d bytes", len(key))
+	}
+	return int64(binary.BigEndian.Uint64(key)), nil
+}
+
+// msgBytes encodes a message value (8-byte big-endian IEEE-754 bits). The
+// byte encoding doubles as the combiner-fold tiebreak order in the sorted
+// shuffle, which is what makes float folds content-deterministic.
+func msgBytes(v float64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+func msgValue(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("graph: message value of %d bytes", len(b))
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
+}
+
+// locAggName encodes the per-partition locality breadcrumb record written
+// into the agg sidecar: which node computed partition part this superstep.
+func locAggName(part int, node string) string {
+	return fmt.Sprintf("graph.loc/p%03d/%s", part, node)
+}
+
+// splitLocAgg splits a folded sidecar map into the real aggregators and the
+// locality breadcrumbs (part → node). Placement varies run to run (and
+// under faults), so breadcrumbs must never reach program-visible state —
+// they feed scheduling hints only.
+func splitLocAgg(folded map[string]float64, parts int) (map[string]float64, []string) {
+	nodes := make([]string, parts)
+	agg := make(map[string]float64, len(folded))
+	for name, v := range folded {
+		rest, ok := strings.CutPrefix(name, "graph.loc/p")
+		if !ok {
+			agg[name] = v
+			continue
+		}
+		if i := strings.IndexByte(rest, '/'); i > 0 {
+			if p, err := strconv.Atoi(rest[:i]); err == nil && p >= 0 && p < parts {
+				nodes[p] = rest[i+1:]
+			}
+		}
+	}
+	return agg, nodes
+}
+
+// vertexState is one vertex's durable per-superstep state.
+type vertexState struct {
+	Vertex
+	Halted bool
+}
+
+// partitionState is the decoded snapshot of one graph partition entering a
+// superstep — the unit cached in the ObjectRegistry. Snapshots are
+// immutable once built; computeStep copies vertex structs before mutating
+// (the Edges slices are shared: topology is static).
+type partitionState struct {
+	vertices []vertexState // sorted by ID
+}
+
+const haltedFlag = 0x01
+
+// appendStateValue encodes a vertex's state record value:
+// value(8) flags(1) uvarint(nedges) { dst(8) weight(8) }*.
+func appendStateValue(dst []byte, v *vertexState) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v.Value))
+	dst = append(dst, b[:]...)
+	var flags byte
+	if v.Halted {
+		flags |= haltedFlag
+	}
+	dst = append(dst, flags)
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(v.Edges)))
+	dst = append(dst, hdr[:n]...)
+	for _, e := range v.Edges {
+		binary.BigEndian.PutUint64(b[:], uint64(e.To))
+		dst = append(dst, b[:]...)
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(e.Weight))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func decodeStateValue(id int64, val []byte) (vertexState, error) {
+	bad := func() (vertexState, error) {
+		return vertexState{}, fmt.Errorf("graph: corrupt state record for vertex %d", id)
+	}
+	if len(val) < 9 {
+		return bad()
+	}
+	v := vertexState{Vertex: Vertex{ID: id, Value: math.Float64frombits(binary.BigEndian.Uint64(val))}}
+	v.Halted = val[8]&haltedFlag != 0
+	rest := val[9:]
+	n, used := binary.Uvarint(rest)
+	if used <= 0 || uint64(len(rest[used:])) != n*16 {
+		return bad()
+	}
+	rest = rest[used:]
+	if n > 0 {
+		v.Edges = make([]Edge, n)
+		for i := range v.Edges {
+			v.Edges[i].To = int64(binary.BigEndian.Uint64(rest))
+			v.Edges[i].Weight = math.Float64frombits(binary.BigEndian.Uint64(rest[8:]))
+			rest = rest[16:]
+		}
+	}
+	return v, nil
+}
+
+// decodeSnapshot builds a partition snapshot from a key-ordered record
+// stream (a state part file).
+func decodeSnapshot(r interface {
+	Next() bool
+	Key() []byte
+	Value() []byte
+	Err() error
+}) (*partitionState, error) {
+	ps := &partitionState{}
+	for r.Next() {
+		id, err := vertexID(r.Key())
+		if err != nil {
+			return nil, err
+		}
+		v, err := decodeStateValue(id, r.Value())
+		if err != nil {
+			return nil, err
+		}
+		ps.vertices = append(ps.vertices, v)
+	}
+	return ps, r.Err()
+}
+
+// writeInitialState materialises the graph into the superstep-0 snapshot:
+// one record file per partition, written directly at the committed
+// FinalPath (the driver is outside any DAG — there is nothing to commit),
+// vertices in ascending id order.
+func writeInitialState(fs *dfs.FileSystem, dir string, g *Graph, prog Program, parts int) error {
+	info := GraphInfo{NumVertices: g.NumVertices(), NumEdges: g.NumEdges()}
+	writers := make([]*library.RecordFileWriter, parts)
+	for p := 0; p < parts; p++ {
+		w, err := library.CreateRecordFile(fs, library.FinalPath(dir, p), "")
+		if err != nil {
+			return err
+		}
+		writers[p] = w
+	}
+	var buf []byte
+	for _, id := range g.VertexIDs() {
+		v := vertexState{Vertex: Vertex{
+			ID:    id,
+			Value: prog.InitialValue(id, info),
+			Edges: g.Edges(id),
+		}}
+		buf = appendStateValue(buf[:0], &v)
+		if err := writers[PartitionOf(id, parts)].Write(vertexKey(id), buf); err != nil {
+			return err
+		}
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readValues reads a committed state directory back into id → value (the
+// driver's final-result read; node "" keeps it off the chaos plane).
+func readValues(fs *dfs.FileSystem, dir string) (map[int64]float64, error) {
+	out := map[int64]float64{}
+	files := fs.List(dir + "/part-")
+	sort.Strings(files)
+	for _, f := range files {
+		blob, err := fs.ReadFile(f, "")
+		if err != nil {
+			return nil, err
+		}
+		r := library.NewPaddedReader(blob)
+		for r.Next() {
+			id, err := vertexID(r.Key())
+			if err != nil {
+				return nil, err
+			}
+			v, err := decodeStateValue(id, r.Value())
+			if err != nil {
+				return nil, err
+			}
+			out[id] = v.Value
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// readFloatRecords folds a sidecar directory of (name, float64) records —
+// aggregator partials or inbox message stats — by each name's AggKind
+// (sum when the name is undeclared). File order is sorted and records are
+// folded in stream order, so float folds are deterministic.
+func readFloatRecords(fs *dfs.FileSystem, dir string, kinds map[string]AggKind) (map[string]float64, error) {
+	out := map[string]float64{}
+	files := fs.List(dir + "/part-")
+	sort.Strings(files)
+	for _, f := range files {
+		blob, err := fs.ReadFile(f, "")
+		if err != nil {
+			return nil, err
+		}
+		r := library.NewPaddedReader(blob)
+		for r.Next() {
+			v, err := msgValue(r.Value())
+			if err != nil {
+				return nil, err
+			}
+			name := string(r.Key())
+			if cur, ok := out[name]; ok {
+				out[name] = kinds[name].fold()(cur, v)
+			} else {
+				out[name] = v
+			}
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -72,6 +72,23 @@ func (r *ObjectRegistry) getLocked(meta Meta, key string) (any, bool) {
 	return e.value, true
 }
 
+// Delete explicitly evicts key if the caller's scope can see it (the same
+// visibility rule as Get), returning the evicted value. Long-running
+// session workloads use it to bound what container reuse accumulates:
+// framework sweeps only run at vertex/DAG end, and session-lifetime
+// entries are never swept at all — an iterative driver caching per-step
+// state must retire superseded steps itself.
+func (r *ObjectRegistry) Delete(meta Meta, key string) (any, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.getLocked(meta, key)
+	if !ok {
+		return nil, false
+	}
+	delete(r.entries, key)
+	return v, true
+}
+
 // SweepDAG evicts entries scoped to a completed DAG (the framework-managed
 // lifecycle of §4.2). Session entries survive.
 func (r *ObjectRegistry) SweepDAG(dag string) {

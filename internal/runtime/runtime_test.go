@@ -228,3 +228,36 @@ func TestMetaID(t *testing.T) {
 		t.Fatalf("ID = %q", got)
 	}
 }
+
+func TestObjectRegistryDelete(t *testing.T) {
+	reg := NewObjectRegistry()
+	m1 := Meta{DAG: "dag1", Vertex: "v1"}
+	m2 := Meta{DAG: "dag2", Vertex: "v9"}
+
+	reg.Add(LifetimeDAG, m1, "dkey", 1)
+	reg.Add(LifetimeSession, m1, "skey", 2)
+
+	// Delete obeys Get's visibility: another DAG cannot evict a
+	// DAG-scoped entry it cannot see.
+	if _, ok := reg.Delete(m2, "dkey"); ok {
+		t.Fatal("delete crossed DAG scope")
+	}
+	if v, ok := reg.Delete(m1, "dkey"); !ok || v != 1 {
+		t.Fatalf("delete = %v %v", v, ok)
+	}
+	if _, ok := reg.Get(m1, "dkey"); ok {
+		t.Fatal("entry survived delete")
+	}
+	// Session entries are visible — and deletable — from any scope: that
+	// is the explicit-eviction path iterative drivers rely on, since no
+	// framework sweep ever touches session lifetime.
+	if v, ok := reg.Delete(m2, "skey"); !ok || v != 2 {
+		t.Fatalf("session delete = %v %v", v, ok)
+	}
+	if _, ok := reg.Delete(m1, "skey"); ok {
+		t.Fatal("double delete reported success")
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("Len = %d", reg.Len())
+	}
+}

@@ -147,34 +147,35 @@ func KMeansIterationDAG(name string, points *relop.Table, centroids [][2]float64
 	return d
 }
 
-// RunKMeans iterates in the given session, submitting one DAG per
-// iteration (§4.2: "Each iteration can be represented as a new DAG and
-// submitted to a shared session for efficient execution"). Returns the
-// final centroids.
+// RunKMeans iterates in the given session through am.RunLoop, submitting
+// one DAG per iteration (§4.2: "Each iteration can be represented as a new
+// DAG and submitted to a shared session for efficient execution"). Returns
+// the final centroids.
 func RunKMeans(sess *am.Session, plat *platform.Platform, points *relop.Table,
 	initial [][2]float64, iterations int, scratch string) ([][2]float64, error) {
 	centroids := append([][2]float64{}, initial...)
-	for it := 0; it < iterations; it++ {
-		out := fmt.Sprintf("%s/iter%03d", scratch, it)
-		plat.FS.DeletePrefix(out + "/")
-		d := KMeansIterationDAG(fmt.Sprintf("kmeans-it%03d", it), points, centroids, out)
-		res, err := sess.Run(d)
-		if err != nil {
-			return nil, err
-		}
-		if res.Status != am.DAGSucceeded {
-			return nil, fmt.Errorf("sparklike: kmeans iteration %d: %v", it, res.Status)
-		}
-		rows, err := relop.ReadStored(plat.FS, out)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range rows {
-			idx := r[0].AsInt()
-			if idx >= 0 && int(idx) < len(centroids) {
-				centroids[idx] = [2]float64{r[1].AsFloat(), r[2].AsFloat()}
+	outPath := func(it int) string { return fmt.Sprintf("%s/iter%03d", scratch, it) }
+	_, err := sess.RunLoop(iterations,
+		func(it int) (*dag.DAG, error) {
+			out := outPath(it)
+			plat.FS.DeletePrefix(out + "/")
+			return KMeansIterationDAG(fmt.Sprintf("kmeans-it%03d", it), points, centroids, out), nil
+		},
+		func(it int, _ am.DAGResult) (bool, error) {
+			rows, err := relop.ReadStored(plat.FS, outPath(it))
+			if err != nil {
+				return false, err
 			}
-		}
+			for _, r := range rows {
+				idx := r[0].AsInt()
+				if idx >= 0 && int(idx) < len(centroids) {
+					centroids[idx] = [2]float64{r[1].AsFloat(), r[2].AsFloat()}
+				}
+			}
+			return false, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return centroids, nil
 }

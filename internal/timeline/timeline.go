@@ -89,6 +89,13 @@ const (
 	// visible where the old guard style dropped it on the floor.
 	TransitionInvalid Type = "TRANSITION_INVALID"
 
+	// GraphSuperstep is one BSP superstep of the graph engine
+	// (internal/graph) — a span: Dur is the superstep DAG's wall-clock,
+	// Val the active-vertex count, DAG the graph job name, Info
+	// "superstep=<k> active=<n> sent=<m> combined=<c>" (messages combined
+	// away between the senders and the inbox files).
+	GraphSuperstep Type = "GRAPH_SUPERSTEP"
+
 	// AMBacklog records a new high-water mark of the AM dispatcher's
 	// mailbox backlog (Val: queued messages) once it crosses a reporting
 	// threshold — a stuck or starved dispatcher becomes visible in the
