@@ -83,6 +83,7 @@ func main() {
 	backend := flag.String("backend", "tez", "tez | mr | both")
 	rows := flag.Int("rows", 5000, "input rows")
 	list := flag.Bool("list", false, "list pipelines")
+	explain := flag.Bool("explain", false, "print the compiled DAG and vectorization decisions instead of running")
 	script := flag.String("script", "", scriptHelp)
 	flag.Parse()
 
@@ -93,7 +94,7 @@ func main() {
 		return
 	}
 	if *script != "" {
-		runScript(*script, *backend, *rows)
+		runScript(*script, *backend, *rows, *explain)
 		return
 	}
 	var chosen *pipeline
@@ -117,6 +118,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *explain {
+		text, err := chosen.build(a, b, "/out/"+chosen.name+"-explain").Explain()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
 	if *backend == "tez" || *backend == "both" {
 		sess := am.NewSession(plat, am.Config{Name: "tez-pig", PrewarmContainers: 4})
 		start := time.Now()
@@ -138,7 +147,7 @@ func main() {
 }
 
 // runScript parses and executes an inline PigLatin-style script.
-func runScript(src, backend string, rows int) {
+func runScript(src, backend string, rows int, explain bool) {
 	plat := platform.New(platform.Default(8))
 	defer plat.Stop()
 	a, err := data.GenZipfPairs(plat.FS, "input_a", rows, 200, 1.3, 1)
@@ -153,6 +162,14 @@ func runScript(src, backend string, rows int) {
 	s, err := pig.ParseScript("cli", src, cat)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if explain {
+		text, err := s.Explain()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+		return
 	}
 	if backend == "mr" {
 		start := time.Now()

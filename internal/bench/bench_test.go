@@ -185,6 +185,55 @@ func TestShuffleCodecAblation(t *testing.T) {
 	}
 }
 
+// TestRelopVectorizationAblation is the columnar acceptance gate: every
+// kernel must beat its row-at-a-time twin (with at least 2x fewer
+// allocations on the scan-shaped kernels), and all three end-to-end
+// engine variants must commit byte-identical output.
+func TestRelopVectorizationAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	micro, err := RelopMicroResults(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKernel := map[string]map[string]RelopMicroResult{}
+	for _, r := range micro {
+		if byKernel[r.Kernel] == nil {
+			byKernel[r.Kernel] = map[string]RelopMicroResult{}
+		}
+		byKernel[r.Kernel][r.Variant] = r
+	}
+	for _, kernel := range []string{"filter", "project", "hashjoin", "aggregate"} {
+		rowRes, colRes := byKernel[kernel]["row"], byKernel[kernel]["columnar"]
+		if rowRes.Records == 0 || colRes.Records == 0 {
+			t.Fatalf("missing variants for %s in %+v", kernel, micro)
+		}
+		if colRes.NsPerOp >= rowRes.NsPerOp {
+			t.Errorf("%s: columnar ns/op %d not below row %d", kernel, colRes.NsPerOp, rowRes.NsPerOp)
+		}
+		if kernel != "hashjoin" && colRes.AllocsPerOp*2 > rowRes.AllocsPerOp {
+			t.Errorf("%s: columnar allocs/op %d not ≥2x better than row %d",
+				kernel, colRes.AllocsPerOp, rowRes.AllocsPerOp)
+		}
+	}
+	requireRows(t, RelopMicroReport(micro), 8)
+
+	e2e, err := RelopE2EResults(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e2e) != 9 {
+		t.Fatalf("e2e rows = %d, want 9", len(e2e))
+	}
+	for _, r := range e2e {
+		if !r.Identical {
+			t.Errorf("%s under %s diverged from the row engine", r.Workload, r.Variant)
+		}
+	}
+	requireRows(t, RelopE2EReport(e2e), 9)
+}
+
 func TestReportRendering(t *testing.T) {
 	r := &Report{Figure: "F", Title: "T", Headers: []string{"a", "bb"}}
 	r.AddRow("x", "y")

@@ -1,0 +1,363 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"tez/internal/am"
+	"tez/internal/data"
+	"tez/internal/hive"
+	"tez/internal/platform"
+	"tez/internal/relop"
+	"tez/internal/row"
+)
+
+// The vectorization ablation: the same relational kernels measured
+// row-at-a-time and batch-at-a-time (micro), and the same Hive/Pig
+// workloads run end to end under the row engine, the columnar engine,
+// and columnar plus wire compression. The e2e rows double as an
+// acceptance check — every variant must commit byte-identical output.
+
+// RelopMicroResult is one row of the kernel microbenchmark for
+// BENCH_relop.json.
+type RelopMicroResult struct {
+	Kernel      string  `json:"kernel"`
+	Variant     string  `json:"variant"` // row | columnar
+	Records     int     `json:"records"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerRecord float64 `json:"ns_per_record"`
+	Speedup     float64 `json:"speedup_vs_row,omitempty"`
+}
+
+// RelopE2EResult is one row of the end-to-end engine ablation.
+type RelopE2EResult struct {
+	Workload  string  `json:"workload"`
+	Variant   string  `json:"variant"` // row | columnar | columnar-flate
+	Millis    float64 `json:"ms"`
+	Identical bool    `json:"identical_to_row"`
+	Speedup   float64 `json:"speedup_vs_row,omitempty"`
+}
+
+// relopRecords sizes the micro input; the acceptance bar is ≥200k rows
+// per op at the default scale.
+func relopRecords(sc Scale) int {
+	switch sc.Name {
+	case "full":
+		return 400_000
+	case "tiny":
+		return 20_000
+	default:
+		return 200_000
+	}
+}
+
+// discardKV swallows terminal writes so the kernels, not an output
+// buffer, are what the benchmark times.
+type discardKV struct{}
+
+func (discardKV) Write(key, value []byte) error { return nil }
+
+// relopBenchRows builds the shared micro input: a (int key, float
+// measure, word tag) fact row, pre-encoded once outside the timed loop
+// exactly as a task attempt receives it.
+func relopBenchRows(records int) [][]byte {
+	rng := rand.New(rand.NewSource(31))
+	words := []string{"ash", "birch", "cedar", "fir", "oak", "pine"}
+	encoded := make([][]byte, records)
+	for i := range encoded {
+		encoded[i] = row.Encode(nil, row.Row{
+			row.Int(int64(rng.Intn(1000))),
+			row.Float(float64(rng.Intn(10000)) / 100),
+			row.String(words[rng.Intn(len(words))]),
+		})
+	}
+	return encoded
+}
+
+// RelopMicroResults measures filter / project / hashjoin / aggregate on
+// both engines with testing.Benchmark and returns machine-readable rows.
+func RelopMicroResults(sc Scale) ([]RelopMicroResult, error) {
+	records := relopRecords(sc)
+	encoded := relopBenchRows(records)
+
+	// A 1000-key dimension table for the hashjoin probe, keyed the way
+	// buildTable keys broadcast inputs.
+	build := map[string][]row.Row{}
+	for k := 0; k < 1000; k++ {
+		br := row.Row{row.Int(int64(k)), row.String(fmt.Sprintf("dim-%04d", k))}
+		build[string(row.EncodeKey(nil, br[0]))] = []row.Row{br}
+	}
+	tables := map[string]map[string][]row.Row{"dim": build}
+	widths := map[string]int{"dim": 2}
+
+	sink := func(pipe []relop.PipeOp) relop.EmitSpec {
+		return relop.EmitSpec{Input: "in", Output: "out", Kind: relop.EmitSink, Tag: -1, Pipe: pipe}
+	}
+	agg := &relop.GroupOp{Kind: "agg", GroupWidth: 1, Aggs: []relop.AggFuncSpec{
+		{Func: "count", Col: 0}, {Func: "sum", Col: 1}, {Func: "min", Col: 1}, {Func: "avg", Col: 1},
+	}}
+
+	kernels := []struct {
+		name string
+		run  func(batchSize int) (int64, error)
+	}{
+		{"filter", func(bs int) (int64, error) {
+			spec := sink([]relop.PipeOp{{Kind: "filter",
+				Filter: relop.Cmp("<", relop.Col(1), relop.LitFloat(25))}})
+			return relop.RunEmitBench(spec, nil, nil, encoded, bs, discardKV{})
+		}},
+		{"project", func(bs int) (int64, error) {
+			spec := sink([]relop.PipeOp{{Kind: "project", Project: []*relop.Expr{
+				relop.Arith("*", relop.Col(1), relop.LitFloat(2)),
+				relop.Arith("+", relop.Col(0), relop.LitInt(1)),
+			}}})
+			return relop.RunEmitBench(spec, nil, nil, encoded, bs, discardKV{})
+		}},
+		{"hashjoin", func(bs int) (int64, error) {
+			spec := sink([]relop.PipeOp{{Kind: "hashjoin", HJ: &relop.HashJoinSpec{
+				Input: "dim", ProbeKeys: []*relop.Expr{relop.Col(0)},
+			}}})
+			return relop.RunEmitBench(spec, tables, widths, encoded, bs, discardKV{})
+		}},
+		{"aggregate", func(bs int) (int64, error) {
+			var n int64
+			err := relop.RunAggBench(agg, encoded, bs, func(row.Row) error {
+				n++
+				return nil
+			})
+			return n, err
+		}},
+	}
+
+	var out []RelopMicroResult
+	for _, k := range kernels {
+		var rowNs int64
+		var rowCount int64 = -1
+		for _, v := range []struct {
+			name string
+			bs   int
+		}{{"row", 0}, {"columnar", relop.DefaultBatchSize}} {
+			var failure error
+			var count int64
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					n, err := k.run(v.bs)
+					if err != nil {
+						failure = err
+						b.FailNow()
+					}
+					count = n
+				}
+			})
+			if failure != nil {
+				return nil, fmt.Errorf("%s/%s: %w", k.name, v.name, failure)
+			}
+			if rowCount >= 0 && count != rowCount {
+				return nil, fmt.Errorf("%s: row emitted %d rows, %s emitted %d", k.name, rowCount, v.name, count)
+			}
+			rowCount = count
+			r := RelopMicroResult{
+				Kernel:      k.name,
+				Variant:     v.name,
+				Records:     records,
+				NsPerOp:     res.NsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				NsPerRecord: float64(res.NsPerOp()) / float64(records),
+			}
+			if v.name == "row" {
+				rowNs = res.NsPerOp()
+			} else if r.NsPerOp > 0 {
+				r.Speedup = float64(rowNs) / float64(r.NsPerOp)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// relopE2EOrders sizes the end-to-end TPC-H input (lineitem ≈ 4×).
+func relopE2EOrders(sc Scale) int {
+	switch sc.Name {
+	case "full":
+		return 12_000
+	case "tiny":
+		return 150
+	default:
+		return 4_000
+	}
+}
+
+// readPartBytes concatenates the committed part files of one store, in
+// name order — the byte-identity unit for the engine ablation.
+func readPartBytes(plat *platform.Platform, out string) ([]byte, error) {
+	files := plat.FS.List(out + "/part-")
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no part files under %s", out)
+	}
+	var all []byte
+	for _, f := range files {
+		blob, err := plat.FS.ReadFile(f, "")
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, blob...)
+	}
+	return all, nil
+}
+
+// RelopE2EResults runs two Hive TPC-H queries and a Pig script end to
+// end under row, columnar, and columnar+flate engines. Each timing is
+// the median of three runs in a shared pre-warmed session; every
+// variant's committed bytes must equal the row engine's.
+func RelopE2EResults(sc Scale) ([]RelopE2EResult, error) {
+	plat := platform.New(platform.Default(8))
+	defer plat.Stop()
+	tp, err := data.GenTPCH(plat.FS, relopE2EOrders(sc), 33)
+	if err != nil {
+		return nil, err
+	}
+	t1, err := data.GenZipfPairs(plat.FS, "vec_etl", relopRecords(sc)/20, 200, 1.3, 34)
+	if err != nil {
+		return nil, err
+	}
+
+	workloads := []struct {
+		name string
+		run  func(sess *am.Session, exec relop.Config, out string) error
+	}{
+		{"hive-q1", func(sess *am.Session, exec relop.Config, out string) error {
+			eng := hive.NewEngine()
+			eng.Exec = exec
+			eng.Register(tp.Tables()...)
+			_, err := eng.RunTez(sess, "vec-q1", tpchQueries[0].sql, out)
+			return err
+		}},
+		{"hive-q18", func(sess *am.Session, exec relop.Config, out string) error {
+			eng := hive.NewEngine()
+			eng.Exec = exec
+			eng.Register(tp.Tables()...)
+			_, err := eng.RunTez(sess, "vec-q18", tpchQueries[4].sql, out)
+			return err
+		}},
+		{"pig-group_agg", func(sess *am.Session, exec relop.Config, out string) error {
+			s := pigWorkloads[0].build(t1, nil, out)
+			s.Exec = exec
+			_, err := s.RunTez(sess)
+			return err
+		}},
+	}
+	variants := []struct {
+		name  string
+		exec  relop.Config
+		batch int // am.Config.RelopBatchSize
+		codec string
+	}{
+		{"row", relop.Config{DefaultPartitions: 8, DisableVectorized: true}, -1, ""},
+		{"columnar", relop.Config{DefaultPartitions: 8}, 0, ""},
+		{"columnar-flate", relop.Config{DefaultPartitions: 8}, 0, "flate"},
+	}
+
+	var out []RelopE2EResult
+	for _, w := range workloads {
+		rowMs := 0.0
+		var rowBytes []byte
+		for _, v := range variants {
+			sess := am.NewSession(plat, am.Config{
+				Name:              fmt.Sprintf("vec-%s-%s", w.name, v.name),
+				PrewarmContainers: 4,
+				RelopBatchSize:    v.batch,
+				ShuffleCodec:      v.codec,
+			})
+			var durs []time.Duration
+			var blob []byte
+			for rep := 0; rep < 3; rep++ {
+				dir := fmt.Sprintf("/bench/vec/%s-%s-%d", w.name, v.name, rep)
+				start := time.Now()
+				if err := w.run(sess, v.exec, dir); err != nil {
+					sess.Close()
+					return nil, fmt.Errorf("%s under %s: %w", w.name, v.name, err)
+				}
+				durs = append(durs, time.Since(start))
+				if rep == 0 {
+					if blob, err = readPartBytes(plat, dir); err != nil {
+						sess.Close()
+						return nil, err
+					}
+				}
+			}
+			sess.Close()
+			sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+			medMs := float64(durs[1].Microseconds()) / 1000
+			r := RelopE2EResult{Workload: w.name, Variant: v.name, Millis: medMs}
+			if v.name == "row" {
+				rowMs = medMs
+				rowBytes = blob
+				r.Identical = true
+			} else {
+				r.Identical = bytes.Equal(blob, rowBytes)
+				if medMs > 0 {
+					r.Speedup = rowMs / medMs
+				}
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// RelopMicroReport renders the kernel microbenchmark rows.
+func RelopMicroReport(rows []RelopMicroResult) *Report {
+	rep := &Report{
+		Figure:  "Ablation",
+		Title:   "Relational kernels: row-at-a-time vs columnar batches",
+		Headers: []string{"kernel", "variant", "ns/op", "B/op", "allocs/op", "ns/record", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("%d pre-encoded rows per op through the real emit pipeline (decode, eval, terminal encode included)", rows[0].Records),
+		},
+	}
+	for _, r := range rows {
+		sp := "-"
+		if r.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		rep.AddRow(r.Kernel, r.Variant,
+			fmt.Sprintf("%d", r.NsPerOp),
+			fmt.Sprintf("%d", r.BytesPerOp),
+			fmt.Sprintf("%d", r.AllocsPerOp),
+			fmt.Sprintf("%.1f", r.NsPerRecord), sp)
+	}
+	return rep
+}
+
+// RelopE2EReport renders the end-to-end engine ablation rows.
+func RelopE2EReport(rows []RelopE2EResult) *Report {
+	rep := &Report{
+		Figure:  "Ablation",
+		Title:   "End-to-end engines: row vs columnar vs columnar+flate",
+		Headers: []string{"workload", "variant", "time (ms)", "speedup", "result"},
+		Notes: []string{
+			"median of 3 runs per variant in a shared pre-warmed session",
+			"result byte-compares the committed part files against the row-engine run",
+		},
+	}
+	for _, r := range rows {
+		sp, verdict := "-", "identical"
+		if r.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		if !r.Identical {
+			verdict = "DIVERGED"
+		}
+		rep.AddRow(r.Workload, r.Variant, fmt.Sprintf("%.1f", r.Millis), sp, verdict)
+	}
+	return rep
+}

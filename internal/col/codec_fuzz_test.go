@@ -1,0 +1,63 @@
+package col
+
+import (
+	"bytes"
+	"testing"
+
+	"tez/internal/row"
+)
+
+func frame(rows ...row.Row) []byte {
+	b := NewBatch()
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return EncodeBatch(nil, b)
+}
+
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{batchMagic})
+	f.Add([]byte{batchMagic, batchVersion})
+	f.Add([]byte{batchMagic, batchVersion, 0x80}) // width varint cut mid-way
+	f.Add([]byte{batchMagic, 0xFF})               // future version
+	f.Add(frame())
+	f.Add(frame(row.Row{}))
+	f.Add(frame(row.Row{row.Int(1), row.Float(2.5), row.String("s"), row.Null()}))
+	f.Add(frame(
+		row.Row{row.Int(-7), row.String("")},
+		row.Row{row.Null(), row.String("\x00\x00")},
+	))
+	// A kind-mixed column forces the boxed (Any) wire representation.
+	f.Add(frame(
+		row.Row{row.Int(1)},
+		row.Row{row.String("mix")},
+		row.Row{row.Float(3.5)},
+	))
+	// Huge claimed row count with a tiny payload must be rejected cheaply.
+	f.Add([]byte{batchMagic, batchVersion, 0x01, 0xFF, 0xFF, 0xFF, 0x7F, byte(Int64), 0x00})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		b, err := DecodeBatch(buf)
+		if err != nil {
+			return
+		}
+		// A decodable frame must survive a canonical re-encode/decode with
+		// every row's wire bytes unchanged.
+		re := EncodeBatch(nil, b)
+		b2, err := DecodeBatch(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v (frame %x)", err, re)
+		}
+		if b2.Len() != b.Len() || b2.Width() != b.Width() {
+			t.Fatalf("shape changed: %dx%d -> %dx%d", b.Len(), b.Width(), b2.Len(), b2.Width())
+		}
+		var r1, r2 []byte
+		for i := 0; i < b.Len(); i++ {
+			r1 = AppendRowEncoded(r1[:0], b, i)
+			r2 = AppendRowEncoded(r2[:0], b2, i)
+			if !bytes.Equal(r1, r2) {
+				t.Fatalf("row %d changed: %x -> %x", i, r1, r2)
+			}
+		}
+	})
+}

@@ -52,6 +52,12 @@ func (e *Engine) Explain(sql string) (string, error) {
 	for _, ed := range d.Edges {
 		fmt.Fprintf(&b, "  edge   %-24s -> %-20s %s\n", ed.From, ed.To, ed.Property.Movement)
 	}
+	if vs := relop.ExplainStages(d); vs != "" {
+		b.WriteString("vectorization:\n")
+		for _, line := range strings.Split(strings.TrimRight(vs, "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
 	return b.String(), nil
 }
 

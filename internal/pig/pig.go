@@ -9,6 +9,7 @@ package pig
 
 import (
 	"fmt"
+	"strings"
 
 	"tez/internal/am"
 	"tez/internal/platform"
@@ -114,6 +115,47 @@ func (s *Script) Store(d *Dataset, path string) {
 
 // Roots returns the plan roots (for inspection).
 func (s *Script) Roots() []*relop.Node { return s.stores }
+
+// Explain renders the compiled Tez DAG of the script plus the
+// per-stage vectorization decisions (which pipelines run
+// batch-at-a-time and why any fell back to rows).
+func (s *Script) Explain() (string, error) {
+	if len(s.stores) == 0 {
+		return "", fmt.Errorf("pig: script %s stores nothing", s.Name)
+	}
+	d, err := relop.EmitDAGOnly(s.Exec, s.Name, s.stores)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tez dag %s:\n", d.Name)
+	order, err := d.TopoOrder()
+	if err != nil {
+		return "", err
+	}
+	for _, name := range order {
+		v := d.Vertex(name)
+		par := "runtime"
+		if v.Parallelism > 0 {
+			par = fmt.Sprintf("%d", v.Parallelism)
+		}
+		fmt.Fprintf(&b, "  vertex %-24s tasks=%s", name, par)
+		if len(v.Sinks) > 0 {
+			fmt.Fprintf(&b, " sinks=%d", len(v.Sinks))
+		}
+		b.WriteString("\n")
+	}
+	for _, ed := range d.Edges {
+		fmt.Fprintf(&b, "  edge   %-24s -> %-20s %s\n", ed.From, ed.To, ed.Property.Movement)
+	}
+	if vs := relop.ExplainStages(d); vs != "" {
+		b.WriteString("vectorization:\n")
+		for _, line := range strings.Split(strings.TrimRight(vs, "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	return b.String(), nil
+}
 
 // RunTez executes the whole script as one Tez DAG in the session.
 func (s *Script) RunTez(sess *am.Session) (am.DAGResult, error) {

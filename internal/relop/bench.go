@@ -1,0 +1,63 @@
+package relop
+
+import (
+	"fmt"
+
+	"tez/internal/col"
+	"tez/internal/row"
+	"tez/internal/runtime"
+)
+
+// This file exports the two kernel entry points the vectorization
+// ablation (internal/bench, `tez-bench -exp relop`) measures, so the
+// benchmark can drive exactly the data plane a task attempt runs —
+// same emitter, same kernels — without standing up a cluster.
+
+// RunEmitBench streams pre-encoded rows through one emit pipeline.
+// batchSize <= 0 decodes and evaluates row-at-a-time (the pre-columnar
+// engine); batchSize > 0 runs the batch kernels. Returns the number of
+// rows emitted so callers can keep the variants honest.
+func RunEmitBench(spec EmitSpec, tables map[string]map[string][]row.Row, widths map[string]int,
+	encoded [][]byte, batchSize int, w runtime.KVWriter) (int64, error) {
+
+	proc := &stageProcessor{tableWidths: widths}
+	em := &emitter{spec: spec, writer: w, proc: proc, tables: tables}
+	if batchSize > 0 {
+		if ok, reason := VectorizableEmit(&spec); !ok {
+			return 0, fmt.Errorf("relop: bench spec not vectorizable: %s", reason)
+		}
+		proc.batchSize = batchSize
+		em.spec.Vectorize = true
+		em.vec = newVecEmitter(em, batchSize)
+		for _, e := range encoded {
+			if err := em.vec.add(e); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		for _, e := range encoded {
+			r, err := row.Decode(e)
+			if err != nil {
+				return 0, err
+			}
+			if err := em.emit(r); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := em.finish(); err != nil {
+		return 0, err
+	}
+	return em.count, nil
+}
+
+// RunAggBench runs the grouped-aggregation kernel over one group's
+// encoded values: batchSize <= 0 takes the row path, > 0 the columnar
+// path.
+func RunAggBench(g *GroupOp, values [][]byte, batchSize int, emit func(row.Row) error) error {
+	if batchSize > 0 {
+		return aggGroupVec(g, values, batchSize, col.NewBatch(), emit)
+	}
+	p := &stageProcessor{}
+	return p.aggGroup(g, values, emit)
+}

@@ -20,6 +20,11 @@ type Config struct {
 	// DisableRegistryCache turns off object-registry sharing of broadcast
 	// hash tables (ablation).
 	DisableRegistryCache bool
+	// DisableVectorized keeps every pipeline, aggregation and broadcast
+	// edge on the row-at-a-time path (escape hatch / ablation). The
+	// runtime knob am.Config.RelopBatchSize < 0 disables batch execution
+	// per session instead; this flag also reverts the wire format.
+	DisableVectorized bool
 	// TempRoot hosts MR-chain intermediate data.
 	TempRoot string
 }
@@ -453,6 +458,9 @@ func (c *Compiler) CompileTez(name string, roots []*Node) (*dag.DAG, error) {
 	if err := c.finishPruning(); err != nil {
 		return nil, err
 	}
+	// Stamp vectorization decisions before specs are snapshotted into
+	// vertex payloads (plugin.Desc encodes at AddVertex time).
+	c.vectorize()
 	return c.emitDAG(name, c.stages)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"tez/internal/col"
 	"tez/internal/event"
 	"tez/internal/plugin"
 	"tez/internal/row"
@@ -17,6 +18,10 @@ func init() {
 	runtime.RegisterProcessor(StageProcessorName, func() runtime.Processor { return &stageProcessor{} })
 }
 
+// DefaultBatchSize is the rows-per-batch flush threshold of the
+// vectorized path when runtime.Services.RelopBatchSize is 0.
+const DefaultBatchSize = 1024
+
 // PruneValues is the payload of initializer events and of VM histogram
 // events: a bag of key values.
 type PruneValues struct {
@@ -26,61 +31,107 @@ type PruneValues struct {
 type stageProcessor struct {
 	ctx  *runtime.Context
 	spec StageSpec
+	// batchSize is the vectorized flush threshold; <= 0 disables the
+	// batch execution strategy at runtime (spec-level Batched wire
+	// contracts still hold — see emitter.terminal).
+	batchSize int
+	// tableWidths records each build table's row width (-1 when mixed:
+	// the batch join kernel needs a fixed output shape, so mixed-width
+	// tables force the row path).
+	tableWidths map[string]int
 }
 
 func (p *stageProcessor) Initialize(ctx *runtime.Context) error {
 	p.ctx = ctx
+	p.tableWidths = map[string]int{}
+	switch bs := ctx.Services.RelopBatchSize; {
+	case bs == 0:
+		p.batchSize = DefaultBatchSize
+	case bs > 0:
+		p.batchSize = bs
+	default:
+		p.batchSize = 0 // negative knob: row-at-a-time everywhere
+	}
 	return plugin.Decode(ctx.Payload, &p.spec)
 }
 
 func (p *stageProcessor) Close() error { return nil }
 
 // emitter is one EmitSpec bound to its writer and deferred-event state.
+// The scratch buffers make the row fallback path allocation-light: the
+// downstream writers copy what they are handed (sort arenas, unordered
+// buffers, record files), so reuse across rows is safe.
 type emitter struct {
 	spec   EmitSpec
 	writer runtime.KVWriter
 	proc   *stageProcessor
 	tables map[string]map[string][]row.Row
+	// vec is non-nil when this emit runs the batch-at-a-time path.
+	vec *vecEmitter
 	// deferred collects key values for initializer/vm emits, sent once at
 	// stage end.
 	deferred []row.Value
 	count    int64
+
+	keyScratch []byte  // hash-join probe keys / shuffle keys
+	valScratch []byte  // encoded values
+	keyVals    row.Row // probe-key evaluation buffer
+	// joinRows holds one reusable joined-row buffer per hash-join nesting
+	// depth (nothing downstream retains the row: terminals copy).
+	joinRows []row.Row
+	// outBatch accumulates rows for a Batched broadcast emit when the
+	// pipeline itself ran row-at-a-time (runtime batch disable, or a
+	// non-vectorizable pipe feeding a batched edge): the wire format is a
+	// compile-time contract and must hold either way.
+	outBatch *col.Batch
+	outFrame []byte
 }
 
 func (e *emitter) emit(r row.Row) error {
-	return e.runPipe(r, e.spec.Pipe, e.terminal)
+	return e.runPipe(r, 0, 0)
 }
 
-// runPipe applies the pipeline (hash joins may fan out) and calls sink.
-func (e *emitter) runPipe(r row.Row, ops []PipeOp, sink func(row.Row) error) error {
-	if len(ops) == 0 {
-		return sink(r)
-	}
-	op := ops[0]
-	rest := ops[1:]
-	switch op.Kind {
-	case "filter":
-		if !Truthy(op.Filter.Eval(r)) {
-			return nil
-		}
-		return e.runPipe(r, rest, sink)
-	case "project":
-		return e.runPipe(EvalAll(op.Project, r), rest, sink)
-	case "hashjoin":
-		table := e.tables[op.HJ.Input]
-		if table == nil {
-			return fmt.Errorf("relop: hash join against unknown build input %q", op.HJ.Input)
-		}
-		key := row.EncodeKey(nil, EvalAll(op.HJ.ProbeKeys, r)...)
-		for _, build := range table[string(key)] {
-			joined := append(r.Clone(), build...)
-			if err := e.runPipe(joined, rest, sink); err != nil {
-				return err
+// runPipe applies ops[from:] iteratively; only hash-join fan-out
+// recurses (per matched build row, one nesting depth per join), so the
+// common linear pipeline costs no per-record closures or clones.
+func (e *emitter) runPipe(r row.Row, from, depth int) error {
+	ops := e.spec.Pipe
+	for i := from; i < len(ops); i++ {
+		op := &ops[i]
+		switch op.Kind {
+		case "filter":
+			if !Truthy(op.Filter.Eval(r)) {
+				return nil
 			}
+		case "project":
+			r = EvalAll(op.Project, r)
+		case "hashjoin":
+			table := e.tables[op.HJ.Input]
+			if table == nil {
+				return fmt.Errorf("relop: hash join against unknown build input %q", op.HJ.Input)
+			}
+			// The key scratch is consumed by the map lookup before any
+			// deeper join can overwrite it.
+			e.keyVals = EvalAllInto(e.keyVals, op.HJ.ProbeKeys, r)
+			e.keyScratch = row.EncodeKey(e.keyScratch[:0], e.keyVals...)
+			matches := table[string(e.keyScratch)]
+			for len(e.joinRows) <= depth {
+				e.joinRows = append(e.joinRows, nil)
+			}
+			for _, build := range matches {
+				joined := e.joinRows[depth][:0]
+				joined = append(append(joined, r...), build...)
+				e.joinRows[depth] = joined
+				if err := e.runPipe(joined, i+1, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("relop: unknown pipe op %q", op.Kind)
 		}
-		return nil
 	}
-	return fmt.Errorf("relop: unknown pipe op %q", op.Kind)
+	return e.terminal(r)
 }
 
 func (e *emitter) terminal(r row.Row) error {
@@ -91,14 +142,22 @@ func (e *emitter) terminal(r row.Row) error {
 	switch e.spec.Kind {
 	case EmitShuffle:
 		key := e.shuffleKey(r)
-		val := make([]byte, 0, 64)
+		val := e.valScratch[:0]
 		if e.spec.Tag >= 0 {
 			val = append(val, byte(e.spec.Tag))
 		}
 		val = row.Encode(val, r)
+		e.valScratch = val
 		return e.writer.Write(key, val)
-	case EmitBroadcast, EmitSink:
-		return e.writer.Write(nil, row.Encode(nil, r))
+	case EmitBroadcast:
+		if e.spec.Batched {
+			return e.batchOut(r)
+		}
+		e.valScratch = row.Encode(e.valScratch[:0], r)
+		return e.writer.Write(nil, e.valScratch)
+	case EmitSink:
+		e.valScratch = row.Encode(e.valScratch[:0], r)
+		return e.writer.Write(nil, e.valScratch)
 	case EmitInitializer, EmitVM:
 		e.deferred = append(e.deferred, e.spec.Keys[0].Eval(r))
 		return nil
@@ -106,17 +165,70 @@ func (e *emitter) terminal(r row.Row) error {
 	return fmt.Errorf("relop: unknown emit kind %q", e.spec.Kind)
 }
 
-// shuffleKey builds the orderable key with per-column direction.
-func (e *emitter) shuffleKey(r row.Row) []byte {
-	var key []byte
-	for i, kx := range e.spec.Keys {
-		seg := row.EncodeKey(nil, kx.Eval(r))
-		if i < len(e.spec.Desc) && e.spec.Desc[i] {
-			seg = row.DescendingKey(seg)
-		}
-		key = append(key, seg...)
+// batchOut frames rows for a Batched edge fed by the row path.
+func (e *emitter) batchOut(r row.Row) error {
+	if e.outBatch == nil {
+		e.outBatch = col.NewBatch()
 	}
+	if !e.outBatch.AppendRow(r) {
+		if err := e.flushBatchOut(); err != nil {
+			return err
+		}
+		e.outBatch.AppendRow(r) // width unlocked by Reset
+	}
+	if e.outBatch.Len() >= e.proc.effectiveBatchSize() {
+		return e.flushBatchOut()
+	}
+	return nil
+}
+
+func (e *emitter) flushBatchOut() error {
+	if e.outBatch == nil || e.outBatch.Len() == 0 {
+		return nil
+	}
+	e.outFrame = col.EncodeBatch(e.outFrame[:0], e.outBatch)
+	e.outBatch.Reset()
+	return e.writer.Write(nil, e.outFrame)
+}
+
+// effectiveBatchSize never reports the disabled (0) state: Batched wire
+// framing needs a flush threshold even when batch execution is off.
+func (p *stageProcessor) effectiveBatchSize() int {
+	if p.batchSize > 0 {
+		return p.batchSize
+	}
+	return DefaultBatchSize
+}
+
+// shuffleKey builds the orderable key with per-column direction into a
+// reused buffer (descending segments are flipped in place).
+func (e *emitter) shuffleKey(r row.Row) []byte {
+	key := e.keyScratch[:0]
+	for i, kx := range e.spec.Keys {
+		start := len(key)
+		key = row.EncodeKey(key, kx.Eval(r))
+		if i < len(e.spec.Desc) && e.spec.Desc[i] {
+			flipBytes(key[start:])
+		}
+	}
+	e.keyScratch = key
 	return key
+}
+
+func flipBytes(b []byte) {
+	for i := range b {
+		b[i] = ^b[i]
+	}
+}
+
+// finish flushes any buffered batch output (stage end).
+func (e *emitter) finish() error {
+	if e.vec != nil {
+		if err := e.vec.flush(); err != nil {
+			return err
+		}
+	}
+	return e.flushBatchOut()
 }
 
 // flush sends deferred control events (§3.3: opaque payloads routed by
@@ -145,6 +257,24 @@ func sampled(r row.Row, rate float64) bool {
 	h := fnv.New32a()
 	_, _ = h.Write(row.Encode(nil, r))
 	return float64(h.Sum32()%1000000) < rate*1000000
+}
+
+// vecEligible decides at runtime whether an emit runs the batch path:
+// the compiler must have marked it, batching must be enabled, and every
+// hash join must probe a fixed-width build table (the batch join kernel
+// emits into a fixed-shape output batch).
+func (p *stageProcessor) vecEligible(es *EmitSpec) bool {
+	if !es.Vectorize || p.batchSize <= 0 {
+		return false
+	}
+	for i := range es.Pipe {
+		if es.Pipe[i].Kind == "hashjoin" {
+			if w, ok := p.tableWidths[es.Pipe[i].HJ.Input]; !ok || w < 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (p *stageProcessor) Run(inputs map[string]runtime.Input, outputs map[string]runtime.Output) error {
@@ -178,11 +308,19 @@ func (p *stageProcessor) Run(inputs map[string]runtime.Input, outputs map[string
 		if in.Mode != InBuild {
 			continue
 		}
-		table, err := p.buildTable(in, inputs)
+		table, width, err := p.buildTable(in, inputs)
 		if err != nil {
 			return err
 		}
 		tables[in.Name] = table
+		p.tableWidths[in.Name] = width
+	}
+
+	// With tables known, pick each emit's execution strategy.
+	for _, em := range emitters {
+		if p.vecEligible(&em.spec) {
+			em.vec = newVecEmitter(em, p.effectiveBatchSize())
+		}
 	}
 
 	// Stream the inputs. All grouped inputs are merged into one key-ordered
@@ -216,6 +354,11 @@ func (p *stageProcessor) Run(inputs map[string]runtime.Input, outputs map[string
 		}
 	}
 	for _, em := range emitters {
+		if err := em.finish(); err != nil {
+			return err
+		}
+	}
+	for _, em := range emitters {
 		em.flush()
 	}
 	if p.ctx.Services.Counters != nil {
@@ -226,53 +369,90 @@ func (p *stageProcessor) Run(inputs map[string]runtime.Input, outputs map[string
 	return nil
 }
 
+// buildEntry is the registry-cached form of a build table: the hash map
+// plus the observed row width (-1 = mixed, fixed width otherwise; an
+// empty table reports 0, which any probe shape satisfies vacuously).
+type buildEntry struct {
+	table map[string][]row.Row
+	width int
+}
+
 // buildTable loads a broadcast build side, caching through the object
 // registry so tasks reusing the container skip the rebuild (the Hive
-// broadcast-join example of §4.2).
-func (p *stageProcessor) buildTable(in StageInput, inputs map[string]runtime.Input) (map[string][]row.Row, error) {
+// broadcast-join example of §4.2). Batched inputs carry col.EncodeBatch
+// frames; rows are materialized once into the table.
+func (p *stageProcessor) buildTable(in StageInput, inputs map[string]runtime.Input) (map[string][]row.Row, int, error) {
 	cacheKey := fmt.Sprintf("relop/hj/%s/%s", p.ctx.Meta.Vertex, in.Name)
 	if in.CacheInRegistry && p.ctx.Services.Registry != nil {
 		if v, ok := p.ctx.Services.Registry.Get(p.ctx.Meta, cacheKey); ok {
 			if p.ctx.Services.Counters != nil {
 				p.ctx.Services.Counters.Add("HASHTABLE_CACHE_HITS", 1)
 			}
-			return v.(map[string][]row.Row), nil
+			ent := v.(buildEntry)
+			return ent.table, ent.width, nil
 		}
 	}
 	src, ok := inputs[in.Name]
 	if !ok {
-		return nil, fmt.Errorf("relop: stage has no input %q", in.Name)
+		return nil, 0, fmt.Errorf("relop: stage has no input %q", in.Name)
 	}
 	rd, err := src.Reader()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	kv, ok := rd.(runtime.KVReader)
 	if !ok {
-		return nil, fmt.Errorf("relop: build input %q reader is %T", in.Name, rd)
+		return nil, 0, fmt.Errorf("relop: build input %q reader is %T", in.Name, rd)
 	}
 	table := map[string][]row.Row{}
-	for kv.Next() {
-		r, err := row.Decode(kv.Value())
-		if err != nil {
-			return nil, err
+	width := -2 // unset
+	var keyBuf []byte
+	var keyVals row.Row
+	add := func(r row.Row) {
+		if width == -2 {
+			width = len(r)
+		} else if width != len(r) {
+			width = -1
 		}
-		key := string(row.EncodeKey(nil, EvalAll(in.BuildKeys, r)...))
-		table[key] = append(table[key], r)
+		keyVals = EvalAllInto(keyVals, in.BuildKeys, r)
+		keyBuf = row.EncodeKey(keyBuf[:0], keyVals...)
+		table[string(keyBuf)] = append(table[string(keyBuf)], r)
+	}
+	for kv.Next() {
+		if in.Batched {
+			b, err := col.DecodeBatch(kv.Value())
+			if err != nil {
+				return nil, 0, err
+			}
+			for i := 0; i < b.Len(); i++ {
+				add(b.MaterializeRow(i))
+			}
+		} else {
+			r, err := row.Decode(kv.Value())
+			if err != nil {
+				return nil, 0, err
+			}
+			add(r)
+		}
 	}
 	if err := kv.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if width == -2 {
+		width = 0
 	}
 	if in.CacheInRegistry && p.ctx.Services.Registry != nil {
-		p.ctx.Services.Registry.Add(runtime.LifetimeDAG, p.ctx.Meta, cacheKey, table)
+		p.ctx.Services.Registry.Add(runtime.LifetimeDAG, p.ctx.Meta, cacheKey, buildEntry{table: table, width: width})
 		if p.ctx.Services.Counters != nil {
 			p.ctx.Services.Counters.Add("HASHTABLE_BUILDS", 1)
 		}
 	}
-	return table, nil
+	return table, width, nil
 }
 
-// runStream feeds a row-stream input through the emits bound to it.
+// runStream feeds a row-stream input through the emits bound to it. Rows
+// are decoded once for the row-path emitters; batch-path emitters parse
+// the encoded bytes straight into their column vectors.
 func (p *stageProcessor) runStream(in StageInput, inputs map[string]runtime.Input, emitters []*emitter) error {
 	src, ok := inputs[in.Name]
 	if !ok {
@@ -286,21 +466,41 @@ func (p *stageProcessor) runStream(in StageInput, inputs map[string]runtime.Inpu
 	if !ok {
 		return fmt.Errorf("relop: input %q reader is %T", in.Name, rd)
 	}
-	var bound []*emitter
+	var rowBound, vecBound []*emitter
 	for _, em := range emitters {
-		if em.spec.Input == in.Name {
-			bound = append(bound, em)
+		if em.spec.Input != in.Name {
+			continue
+		}
+		if em.vec != nil {
+			vecBound = append(vecBound, em)
+		} else {
+			rowBound = append(rowBound, em)
 		}
 	}
 	for kv.Next() {
-		r, err := row.Decode(kv.Value())
-		if err != nil {
-			return err
-		}
-		for _, em := range bound {
-			if err := em.emit(r); err != nil {
+		v := kv.Value()
+		if len(rowBound) > 0 {
+			r, err := row.Decode(v)
+			if err != nil {
 				return err
 			}
+			for _, em := range rowBound {
+				if err := em.emit(r); err != nil {
+					return err
+				}
+			}
+		}
+		for _, em := range vecBound {
+			if err := em.vec.add(v); err != nil {
+				return err
+			}
+		}
+	}
+	// Flush here (not only at stage end) so per-writer row order matches
+	// the row engine when several inputs feed the same stage.
+	for _, em := range vecBound {
+		if err := em.vec.flush(); err != nil {
+			return err
 		}
 	}
 	return kv.Err()
@@ -322,6 +522,12 @@ func (p *stageProcessor) runGrouped(readers []runtime.GroupedKVReader, emitters 
 	}
 	emitRow := func(r row.Row) error {
 		for _, em := range bound {
+			if em.vec != nil {
+				if err := em.vec.addRow(r); err != nil {
+					return err
+				}
+				continue
+			}
 			if err := em.emit(r); err != nil {
 				return err
 			}
@@ -329,6 +535,7 @@ func (p *stageProcessor) runGrouped(readers []runtime.GroupedKVReader, emitters 
 		return nil
 	}
 
+	var aggScratch *col.Batch
 	emitted := 0
 	for gr.Next() {
 		values := gr.Values()
@@ -338,7 +545,14 @@ func (p *stageProcessor) runGrouped(readers []runtime.GroupedKVReader, emitters 
 				return err
 			}
 		case "agg":
-			if err := p.aggGroup(g, values, emitRow); err != nil {
+			if g.Vectorize && p.batchSize > 0 {
+				if aggScratch == nil {
+					aggScratch = col.NewBatch()
+				}
+				if err := aggGroupVec(g, values, p.batchSize, aggScratch, emitRow); err != nil {
+					return err
+				}
+			} else if err := p.aggGroup(g, values, emitRow); err != nil {
 				return err
 			}
 		case "sort":
@@ -408,44 +622,34 @@ func (p *stageProcessor) joinGroup(g *GroupOp, values [][]byte, emit func(row.Ro
 	return rec(0, row.Row{})
 }
 
-// aggGroup computes the aggregates of one group.
-func (p *stageProcessor) aggGroup(g *GroupOp, values [][]byte, emit func(row.Row) error) error {
-	type state struct {
-		sum   float64
-		count int64
-		min   row.Value
-		max   row.Value
-		init  bool
+// aggState accumulates one aggregate. The exact update and finalize
+// rules are shared with the vectorized kernels (vagg.go) so the two
+// paths cannot drift: count includes nulls, sum accumulates float64 in
+// row order, min/max keep the first value on Compare ties.
+type aggState struct {
+	sum   float64
+	count int64
+	min   row.Value
+	max   row.Value
+	init  bool
+}
+
+func (st *aggState) observe(av row.Value) {
+	st.count++
+	if !av.IsNull() {
+		st.sum += av.AsFloat()
+		if !st.init || row.Compare(av, st.min) < 0 {
+			st.min = av
+		}
+		if !st.init || row.Compare(av, st.max) > 0 {
+			st.max = av
+		}
+		st.init = true
 	}
-	states := make([]state, len(g.Aggs))
-	var groupVals row.Row
-	for _, v := range values {
-		r, err := row.Decode(v)
-		if err != nil {
-			return err
-		}
-		if groupVals == nil {
-			groupVals = r[:g.GroupWidth].Clone()
-		}
-		for i, a := range g.Aggs {
-			var av row.Value
-			if a.Col >= 0 && a.Col < len(r) {
-				av = r[a.Col]
-			}
-			st := &states[i]
-			st.count++
-			if !av.IsNull() {
-				st.sum += av.AsFloat()
-				if !st.init || row.Compare(av, st.min) < 0 {
-					st.min = av
-				}
-				if !st.init || row.Compare(av, st.max) > 0 {
-					st.max = av
-				}
-				st.init = true
-			}
-		}
-	}
+}
+
+// finalizeAgg appends the aggregate outputs to the group key columns.
+func finalizeAgg(g *GroupOp, groupVals row.Row, states []aggState) (row.Row, error) {
 	out := groupVals.Clone()
 	for i, a := range g.Aggs {
 		st := states[i]
@@ -465,8 +669,35 @@ func (p *stageProcessor) aggGroup(g *GroupOp, values [][]byte, emit func(row.Row
 		case "max":
 			out = append(out, st.max)
 		default:
-			return fmt.Errorf("relop: unknown aggregate %q", a.Func)
+			return nil, fmt.Errorf("relop: unknown aggregate %q", a.Func)
 		}
+	}
+	return out, nil
+}
+
+// aggGroup computes the aggregates of one group, row at a time.
+func (p *stageProcessor) aggGroup(g *GroupOp, values [][]byte, emit func(row.Row) error) error {
+	states := make([]aggState, len(g.Aggs))
+	var groupVals row.Row
+	for _, v := range values {
+		r, err := row.Decode(v)
+		if err != nil {
+			return err
+		}
+		if groupVals == nil {
+			groupVals = r[:g.GroupWidth].Clone()
+		}
+		for i, a := range g.Aggs {
+			var av row.Value
+			if a.Col >= 0 && a.Col < len(r) {
+				av = r[a.Col]
+			}
+			states[i].observe(av)
+		}
+	}
+	out, err := finalizeAgg(g, groupVals, states)
+	if err != nil {
+		return err
 	}
 	return emit(out)
 }

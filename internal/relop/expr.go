@@ -100,34 +100,42 @@ func (e *Expr) Eval(r row.Row) row.Value {
 	case "not":
 		return boolVal(!Truthy(e.Args[0].Eval(r)))
 	case "arith":
-		a, b := e.Args[0].Eval(r), e.Args[1].Eval(r)
-		if a.IsNull() || b.IsNull() {
+		return arithValues(e.Op, e.Args[0].Eval(r), e.Args[1].Eval(r))
+	}
+	return row.Null()
+}
+
+// arithValues is the arithmetic kernel shared by the row path and the
+// vectorized boxed fallback (vexpr.go), so the two cannot drift: int⊕int
+// stays int except division, everything else coerces through AsFloat
+// (strings coerce to 0), division by zero yields null.
+func arithValues(op string, a, b row.Value) row.Value {
+	if a.IsNull() || b.IsNull() {
+		return row.Null()
+	}
+	if a.Kind == row.KindInt && b.Kind == row.KindInt && op != "/" {
+		switch op {
+		case "+":
+			return row.Int(a.Int + b.Int)
+		case "-":
+			return row.Int(a.Int - b.Int)
+		case "*":
+			return row.Int(a.Int * b.Int)
+		}
+	}
+	fa, fb := a.AsFloat(), b.AsFloat()
+	switch op {
+	case "+":
+		return row.Float(fa + fb)
+	case "-":
+		return row.Float(fa - fb)
+	case "*":
+		return row.Float(fa * fb)
+	case "/":
+		if fb == 0 {
 			return row.Null()
 		}
-		if a.Kind == row.KindInt && b.Kind == row.KindInt && e.Op != "/" {
-			switch e.Op {
-			case "+":
-				return row.Int(a.Int + b.Int)
-			case "-":
-				return row.Int(a.Int - b.Int)
-			case "*":
-				return row.Int(a.Int * b.Int)
-			}
-		}
-		fa, fb := a.AsFloat(), b.AsFloat()
-		switch e.Op {
-		case "+":
-			return row.Float(fa + fb)
-		case "-":
-			return row.Float(fa - fb)
-		case "*":
-			return row.Float(fa * fb)
-		case "/":
-			if fb == 0 {
-				return row.Null()
-			}
-			return row.Float(fa / fb)
-		}
+		return row.Float(fa / fb)
 	}
 	return row.Null()
 }
@@ -161,6 +169,16 @@ func EvalAll(exprs []*Expr, r row.Row) row.Row {
 		out[i] = e.Eval(r)
 	}
 	return out
+}
+
+// EvalAllInto evaluates a projection list into a reused buffer (hot
+// paths that consume the values before the next call).
+func EvalAllInto(dst row.Row, exprs []*Expr, r row.Row) row.Row {
+	dst = dst[:0]
+	for _, e := range exprs {
+		dst = append(dst, e.Eval(r))
+	}
+	return dst
 }
 
 func (e *Expr) String() string {

@@ -28,6 +28,11 @@ type StageInput struct {
 	// CacheInRegistry shares the built hash table through the container's
 	// object registry (§4.2); ablation toggles it off.
 	CacheInRegistry bool
+	// Batched marks a build input whose edge carries whole encoded column
+	// batches (col.EncodeBatch frames) instead of per-row records. Set by
+	// the compiler together with the producing emit's Batched flag; the
+	// wire format is a compile-time contract between the two ends.
+	Batched bool
 }
 
 // GroupOp is the operation applied to a grouped input.
@@ -42,6 +47,10 @@ type GroupOp struct {
 	Aggs       []AggFuncSpec
 	// sort: stop after Limit rows (0 = all).
 	Limit int
+	// Vectorize enables the typed aggregation kernels for "agg" groups
+	// (identical results to the row path; see DESIGN.md §13). Set by the
+	// compiler, subject to Config.DisableVectorized.
+	Vectorize bool
 }
 
 // AggFuncSpec is one aggregate function over a fixed value column.
@@ -102,6 +111,15 @@ type EmitSpec struct {
 	SampleRate float64
 	// initializer: the data source name at the target vertex.
 	TargetSource string
+	// Vectorize marks this emit's pipeline for batch-at-a-time columnar
+	// execution; VecReason records why it stayed row-at-a-time (surfaced
+	// by tez-hive/tez-pig explain). Set by the compiler's vectorize pass.
+	Vectorize bool
+	VecReason string
+	// Batched switches a broadcast emit's wire format to whole encoded
+	// column batches. Only set when the consumer's matching
+	// StageInput.Batched agrees (compile-time contract).
+	Batched bool
 }
 
 // StageSpec is the full program of one stage.

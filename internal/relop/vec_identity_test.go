@@ -1,0 +1,362 @@
+package relop
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tez/internal/am"
+	"tez/internal/col"
+	"tez/internal/row"
+)
+
+// The vectorized engine's contract is byte-identity: for any pipeline
+// and any data — nulls, kind-mixed columns, NaN, -0.0, strings with
+// embedded zero bytes, empty batches — the batch path must write exactly
+// the bytes the row path writes. These tests drive both paths over
+// randomized plans and data and compare every (key, value) pair.
+
+type capturedKV struct {
+	key []byte
+	val []byte
+}
+
+type captureWriter struct {
+	kvs []capturedKV
+}
+
+func (w *captureWriter) Write(key, value []byte) error {
+	w.kvs = append(w.kvs, capturedKV{key: append([]byte{}, key...), val: append([]byte{}, value...)})
+	return nil
+}
+
+func randVecValue(rng *rand.Rand) row.Value {
+	switch rng.Intn(10) {
+	case 0, 1:
+		return row.Null()
+	case 2, 3, 4:
+		return row.Int(int64(rng.Intn(9) - 4))
+	case 5:
+		switch rng.Intn(4) {
+		case 0:
+			return row.Float(math.Copysign(0, -1)) // -0.0
+		case 1:
+			return row.Float(math.NaN())
+		default:
+			return row.Float(float64(rng.Intn(7)) / 2)
+		}
+	case 6:
+		return row.Float(float64(rng.Intn(9) - 4))
+	case 7:
+		return row.String("")
+	case 8:
+		return row.String(string([]byte{'k', 0x00, byte(rng.Intn(3))}))
+	default:
+		return row.String(fmt.Sprintf("s%d", rng.Intn(5)))
+	}
+}
+
+func randVecRow(rng *rand.Rand, w int) row.Row {
+	r := make(row.Row, w)
+	for i := range r {
+		r[i] = randVecValue(rng)
+	}
+	return r
+}
+
+// randVecExpr builds an expression over a width-w row, occasionally
+// referencing out-of-range columns and unknown operators (both have
+// defined row-path semantics the batch path must match).
+func randVecExpr(rng *rand.Rand, w, depth int) *Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(4) == 0 {
+			return Lit(randVecValue(rng))
+		}
+		return Col(rng.Intn(w+2) - 1) // may be -1 or w (out of range)
+	}
+	switch rng.Intn(5) {
+	case 0:
+		ops := []string{"=", "!=", "<", "<=", ">", ">=", "~"}
+		return Cmp(ops[rng.Intn(len(ops))], randVecExpr(rng, w, depth-1), randVecExpr(rng, w, depth-1))
+	case 1:
+		return And(randVecExpr(rng, w, depth-1), randVecExpr(rng, w, depth-1))
+	case 2:
+		return Or(randVecExpr(rng, w, depth-1), randVecExpr(rng, w, depth-1))
+	case 3:
+		return Not(randVecExpr(rng, w, depth-1))
+	default:
+		ops := []string{"+", "-", "*", "/", "%"}
+		return Arith(ops[rng.Intn(len(ops))], randVecExpr(rng, w, depth-1), randVecExpr(rng, w, depth-1))
+	}
+}
+
+// runPipeIdentityTrial builds a random emit spec and streams random rows
+// through the row path and the batch path, asserting identical writes.
+func runPipeIdentityTrial(t *testing.T, rng *rand.Rand, trial int) {
+	t.Helper()
+	width := 1 + rng.Intn(4)
+	curWidth := width
+
+	var pipe []PipeOp
+	tables := map[string]map[string][]row.Row{}
+	widths := map[string]int{}
+	for len(pipe) < 3 && rng.Intn(2) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			pipe = append(pipe, PipeOp{Kind: "filter", Filter: randVecExpr(rng, curWidth, 2)})
+		case 1:
+			nw := 1 + rng.Intn(4)
+			proj := make([]*Expr, nw)
+			for i := range proj {
+				proj[i] = randVecExpr(rng, curWidth, 2)
+			}
+			pipe = append(pipe, PipeOp{Kind: "project", Project: proj})
+			curWidth = nw
+		default:
+			if _, dup := tables["b0"]; dup {
+				continue
+			}
+			bw := 1 + rng.Intn(3)
+			table := map[string][]row.Row{}
+			for i := 0; i < 5+rng.Intn(10); i++ {
+				br := randVecRow(rng, bw)
+				key := row.EncodeKey(nil, br[0])
+				table[string(key)] = append(table[string(key)], br)
+			}
+			tables["b0"] = table
+			widths["b0"] = bw
+			pipe = append(pipe, PipeOp{Kind: "hashjoin", HJ: &HashJoinSpec{
+				Input: "b0", ProbeKeys: []*Expr{Col(0)},
+			}})
+			curWidth += bw
+		}
+	}
+
+	spec := EmitSpec{Input: "in", Pipe: pipe, Tag: -1, Vectorize: true}
+	if rng.Intn(2) == 0 {
+		spec.Kind = EmitShuffle
+		spec.Output = "shuf"
+		nk := 1 + rng.Intn(2)
+		for i := 0; i < nk; i++ {
+			spec.Keys = append(spec.Keys, randVecExpr(rng, curWidth, 1))
+			spec.Desc = append(spec.Desc, rng.Intn(2) == 0)
+		}
+		if rng.Intn(3) == 0 {
+			spec.Tag = rng.Intn(2)
+		}
+	} else {
+		spec.Kind = EmitSink
+		spec.Output = "sink"
+	}
+	if ok, reason := VectorizableEmit(&spec); !ok {
+		t.Fatalf("trial %d: generated spec not vectorizable: %s", trial, reason)
+	}
+
+	batchSize := 1 + rng.Intn(16)
+	if rng.Intn(4) == 0 {
+		batchSize = DefaultBatchSize
+	}
+	rowW, vecW := &captureWriter{}, &captureWriter{}
+	rowProc := &stageProcessor{batchSize: 0, tableWidths: widths}
+	rowEm := &emitter{spec: spec, writer: rowW, proc: rowProc, tables: tables}
+	vecProc := &stageProcessor{batchSize: batchSize, tableWidths: widths}
+	vecEm := &emitter{spec: spec, writer: vecW, proc: vecProc, tables: tables}
+	if !vecProc.vecEligible(&spec) {
+		t.Fatalf("trial %d: spec unexpectedly ineligible for the batch path", trial)
+	}
+	vecEm.vec = newVecEmitter(vecEm, batchSize)
+
+	nrows := rng.Intn(120) // 0 exercises the empty-input flush
+	var enc []byte
+	for i := 0; i < nrows; i++ {
+		w := width
+		if rng.Intn(40) == 0 {
+			w = 1 + rng.Intn(4) // width change mid-stream forces an early flush
+		}
+		r := randVecRow(rng, w)
+		if err := rowEm.emit(r); err != nil {
+			t.Fatalf("trial %d row path: %v", trial, err)
+		}
+		enc = row.Encode(enc[:0], r)
+		if err := vecEm.vec.add(enc); err != nil {
+			t.Fatalf("trial %d vec path: %v", trial, err)
+		}
+	}
+	if err := rowEm.finish(); err != nil {
+		t.Fatalf("trial %d row finish: %v", trial, err)
+	}
+	if err := vecEm.finish(); err != nil {
+		t.Fatalf("trial %d vec finish: %v", trial, err)
+	}
+
+	if rowEm.count != vecEm.count {
+		t.Fatalf("trial %d: row path emitted %d, vec path %d", trial, rowEm.count, vecEm.count)
+	}
+	if len(rowW.kvs) != len(vecW.kvs) {
+		t.Fatalf("trial %d: row path wrote %d records, vec path %d", trial, len(rowW.kvs), len(vecW.kvs))
+	}
+	for i := range rowW.kvs {
+		if !bytes.Equal(rowW.kvs[i].key, vecW.kvs[i].key) {
+			t.Fatalf("trial %d record %d: key mismatch\nrow: %x\nvec: %x", trial, i, rowW.kvs[i].key, vecW.kvs[i].key)
+		}
+		if !bytes.Equal(rowW.kvs[i].val, vecW.kvs[i].val) {
+			t.Fatalf("trial %d record %d: value mismatch\nrow: %x\nvec: %x", trial, i, rowW.kvs[i].val, vecW.kvs[i].val)
+		}
+	}
+}
+
+func TestVecPipeIdentityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		runPipeIdentityTrial(t, rng, trial)
+	}
+}
+
+func TestVecAggIdentityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	funcs := []string{"sum", "count", "min", "max", "avg"}
+	for trial := 0; trial < 150; trial++ {
+		gw := rng.Intn(3)
+		extra := 1 + rng.Intn(3)
+		width := gw + extra
+		g := &GroupOp{Kind: "agg", GroupWidth: gw, Vectorize: true}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			g.Aggs = append(g.Aggs, AggFuncSpec{
+				Func: funcs[rng.Intn(len(funcs))],
+				Col:  rng.Intn(width+2) - 1, // may be out of range
+			})
+		}
+		var values [][]byte
+		for i := 0; i < 1+rng.Intn(200); i++ {
+			w := width
+			if rng.Intn(50) == 0 && gw == 0 {
+				w = 1 + rng.Intn(4) // width drift (only safe with no group key)
+			}
+			values = append(values, row.Encode(nil, randVecRow(rng, w)))
+		}
+		var rowOut, vecOut []row.Row
+		p := &stageProcessor{}
+		if err := p.aggGroup(g, values, func(r row.Row) error {
+			rowOut = append(rowOut, r.Clone())
+			return nil
+		}); err != nil {
+			t.Fatalf("trial %d row agg: %v", trial, err)
+		}
+		batchSize := 1 + rng.Intn(32)
+		if err := aggGroupVec(g, values, batchSize, col.NewBatch(), func(r row.Row) error {
+			vecOut = append(vecOut, r.Clone())
+			return nil
+		}); err != nil {
+			t.Fatalf("trial %d vec agg: %v", trial, err)
+		}
+		if len(rowOut) != len(vecOut) {
+			t.Fatalf("trial %d: row agg emitted %d rows, vec %d", trial, len(rowOut), len(vecOut))
+		}
+		for i := range rowOut {
+			a := row.Encode(nil, rowOut[i])
+			b := row.Encode(nil, vecOut[i])
+			if !bytes.Equal(a, b) {
+				t.Fatalf("trial %d row %d: agg mismatch\nrow: %v (%x)\nvec: %v (%x)",
+					trial, i, rowOut[i], a, vecOut[i], b)
+			}
+		}
+	}
+}
+
+// TestVecAggAllNullColumn pins the null accounting: count includes null
+// rows, sum/min/max skip them, avg of an all-null column is null only
+// when the group is empty (count counts nulls too).
+func TestVecAggAllNullColumn(t *testing.T) {
+	g := &GroupOp{Kind: "agg", GroupWidth: 1, Vectorize: true, Aggs: []AggFuncSpec{
+		{Func: "count", Col: 1}, {Func: "sum", Col: 1}, {Func: "min", Col: 1}, {Func: "avg", Col: 1},
+	}}
+	var values [][]byte
+	for i := 0; i < 10; i++ {
+		values = append(values, row.Encode(nil, row.Row{row.Int(7), row.Null()}))
+	}
+	var got row.Row
+	if err := aggGroupVec(g, values, 4, col.NewBatch(), func(r row.Row) error {
+		got = r.Clone()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := row.Row{row.Int(7), row.Int(10), row.Float(0), row.Null(), row.Float(0)}
+	if !bytes.Equal(row.Encode(nil, got), row.Encode(nil, want)) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// TestVectorizedEndToEndByteIdentity runs one DAG — broadcast join with
+// a batched edge, filter, arithmetic projection, aggregation, ordered
+// store — once vectorized and once forced row-at-a-time (compile-time
+// escape hatch plus runtime knob), and compares the stored part files
+// byte for byte.
+func TestVectorizedEndToEndByteIdentity(t *testing.T) {
+	h := newHarness(t)
+	defer h.close()
+	rng := rand.New(rand.NewSource(3))
+	var facts []row.Row
+	for i := 0; i < 400; i++ {
+		facts = append(facts, row.Row{
+			row.Int(int64(rng.Intn(20))),
+			randVecValue(rng),
+			row.Float(float64(rng.Intn(100)) / 4),
+		})
+	}
+	var dims []row.Row
+	for i := 0; i < 20; i++ {
+		dims = append(dims, row.Row{row.Int(int64(i)), row.String(fmt.Sprintf("d%02d", i))})
+	}
+	fact := h.table("fact_vec", row.NewSchema("k:int", "x", "v:float"), 3, facts)
+	dim := h.table("dim_vec", row.NewSchema("k:int", "name"), 1, dims)
+
+	mkPlan := func(out string) []*Node {
+		s := Scan(fact)
+		f := FilterNode(s, Or(Cmp(">", Col(2), LitFloat(5)), Not(Col(1))))
+		d := Scan(dim)
+		j := JoinNode(f, d, []*Expr{Col(0)}, []*Expr{Col(0)}, true) // broadcast
+		p := ProjectNode(j, []*Expr{Col(4), Arith("*", Col(2), LitFloat(2)), Col(1)},
+			[]string{"name", "v2", "x"}, []row.Kind{row.KindString, row.KindFloat, row.KindString})
+		a := AggNode(p, []*Expr{Col(0)}, []string{"name"}, []AggDef{
+			{Func: "count", Name: "n"},
+			{Func: "sum", Arg: Col(1), Name: "s"},
+			{Func: "min", Arg: Col(2), Name: "lo"},
+		})
+		srt := SortNode(a, []*Expr{Col(0)}, []bool{false}, 0)
+		return []*Node{StoreNode(srt, out)}
+	}
+
+	run := func(name string, exec Config, amCfg am.Config) string {
+		out := "/out/" + name
+		sess := am.NewSession(h.plat, amCfg)
+		defer sess.Close()
+		if _, err := RunTez(sess, exec, name, mkPlan(out)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return out
+	}
+	outVec := run("e2e-vec", Config{}, am.Config{Name: "e2e-vec"})
+	outRow := run("e2e-row", Config{DisableVectorized: true}, am.Config{Name: "e2e-row", RelopBatchSize: -1})
+
+	vecFiles := h.plat.FS.List(outVec + "/part-")
+	rowFiles := h.plat.FS.List(outRow + "/part-")
+	if len(vecFiles) == 0 || len(vecFiles) != len(rowFiles) {
+		t.Fatalf("part file mismatch: vec %v row %v", vecFiles, rowFiles)
+	}
+	for i := range vecFiles {
+		vb, err := h.plat.FS.ReadFile(vecFiles[i], "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := h.plat.FS.ReadFile(rowFiles[i], "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(vb, rb) {
+			t.Fatalf("stored bytes differ between engines in %s vs %s", vecFiles[i], rowFiles[i])
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package relop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tez/internal/dag"
+	"tez/internal/plugin"
+)
+
+// The compiler's vectorization pass (DESIGN.md §13). Runs after the plan
+// is fully lowered to stages and before stage specs are snapshotted into
+// vertex payloads: it marks each emit pipeline and each aggregation for
+// batch-at-a-time execution, records a human-readable fallback reason
+// for everything that stays row-at-a-time (surfaced by tez-hive/tez-pig
+// explain), and pairs the Batched wire contract on broadcast edges that
+// feed hash-join build inputs.
+
+// VectorizableEmit reports whether an emit's pipeline and terminal are
+// structurally supported by the batch engine, and the fallback reason
+// when not. It does not consider configuration or runtime state.
+func VectorizableEmit(es *EmitSpec) (bool, string) {
+	switch es.Kind {
+	case EmitShuffle, EmitBroadcast, EmitSink:
+	case EmitInitializer, EmitVM:
+		return false, "control emit (" + es.Kind + ")"
+	default:
+		return false, fmt.Sprintf("unknown emit kind %q", es.Kind)
+	}
+	if es.SampleRate > 0 {
+		return false, "sampled emit"
+	}
+	for i := range es.Pipe {
+		op := &es.Pipe[i]
+		switch op.Kind {
+		case "filter":
+			if r := exprSupported(op.Filter); r != "" {
+				return false, r
+			}
+		case "project":
+			for _, e := range op.Project {
+				if r := exprSupported(e); r != "" {
+					return false, r
+				}
+			}
+		case "hashjoin":
+			for _, e := range op.HJ.ProbeKeys {
+				if r := exprSupported(e); r != "" {
+					return false, r
+				}
+			}
+		default:
+			return false, fmt.Sprintf("unknown pipe op %q", op.Kind)
+		}
+	}
+	for _, e := range es.Keys {
+		if r := exprSupported(e); r != "" {
+			return false, r
+		}
+	}
+	return true, ""
+}
+
+// exprSupported walks an expression tree; "" means every node has a
+// batch kernel (vexpr.go). Malformed arities fall back to the row path
+// rather than risking a kernel panic.
+func exprSupported(e *Expr) string {
+	if e == nil {
+		return "nil expression"
+	}
+	switch e.Kind {
+	case "col", "lit":
+		return ""
+	case "cmp", "arith":
+		if len(e.Args) != 2 {
+			return fmt.Sprintf("%s with %d args", e.Kind, len(e.Args))
+		}
+	case "not":
+		if len(e.Args) != 1 {
+			return fmt.Sprintf("not with %d args", len(e.Args))
+		}
+	case "and", "or":
+	default:
+		return fmt.Sprintf("unsupported expression %q", e.Kind)
+	}
+	for _, a := range e.Args {
+		if r := exprSupported(a); r != "" {
+			return r
+		}
+	}
+	return ""
+}
+
+// applyVectorize stamps one emit's flags under the config gate.
+func applyVectorize(es *EmitSpec, disabled bool) {
+	if disabled {
+		es.Vectorize, es.VecReason = false, "disabled by config"
+		return
+	}
+	es.Vectorize, es.VecReason = VectorizableEmit(es)
+}
+
+// vectorize stamps every stage's emits and agg groups, and upgrades
+// broadcast edges feeding hash-join builds to the batched wire format
+// (both ends flagged together: the frame layout is a compile-time
+// contract, independent of the runtime batch-size knob).
+func (c *Compiler) vectorize() {
+	byName := map[string]*bStage{}
+	for _, st := range c.stages {
+		byName[st.name] = st
+	}
+	for _, st := range c.stages {
+		for i := range st.spec.Emits {
+			es := &st.spec.Emits[i]
+			applyVectorize(es, c.cfg.DisableVectorized)
+			if c.cfg.DisableVectorized || es.Kind != EmitBroadcast {
+				continue
+			}
+			cons := byName[es.Output]
+			if cons == nil {
+				continue
+			}
+			for j := range cons.spec.Inputs {
+				in := &cons.spec.Inputs[j]
+				if in.Name == st.name && in.Mode == InBuild {
+					es.Batched = true
+					in.Batched = true
+				}
+			}
+		}
+		if g := st.spec.Group; g != nil && g.Kind == "agg" {
+			g.Vectorize = !c.cfg.DisableVectorized
+		}
+	}
+}
+
+// ExplainStages renders the per-vertex vectorization decisions of a
+// compiled DAG: which emit pipelines run batch-at-a-time, why any fell
+// back to rows, which aggregations use the typed kernels, and which
+// edges carry batched frames.
+func ExplainStages(d *dag.DAG) string {
+	var sb strings.Builder
+	verts := append([]*dag.Vertex{}, d.Vertices...)
+	sort.Slice(verts, func(i, j int) bool { return verts[i].Name < verts[j].Name })
+	for _, v := range verts {
+		if v.Processor.Name != StageProcessorName {
+			continue
+		}
+		var spec StageSpec
+		if err := plugin.Decode(v.Processor.Payload, &spec); err != nil {
+			fmt.Fprintf(&sb, "%s: <undecodable stage spec: %v>\n", v.Name, err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%s:\n", v.Name)
+		if g := spec.Group; g != nil {
+			mark := "rows"
+			if g.Vectorize {
+				mark = "vectorized"
+			} else if g.Kind == "agg" {
+				mark = "rows (disabled by config)"
+			}
+			fmt.Fprintf(&sb, "  group %s: %s\n", g.Kind, mark)
+		}
+		for _, es := range spec.Emits {
+			target := es.Output
+			if es.Batched {
+				target += " [batched wire]"
+			}
+			if es.Vectorize {
+				fmt.Fprintf(&sb, "  emit %s -> %s: vectorized (%d ops)\n", es.Kind, target, len(es.Pipe))
+			} else {
+				reason := es.VecReason
+				if reason == "" {
+					reason = "row path"
+				}
+				fmt.Fprintf(&sb, "  emit %s -> %s: rows (%s)\n", es.Kind, target, reason)
+			}
+		}
+	}
+	return sb.String()
+}

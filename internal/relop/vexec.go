@@ -1,0 +1,215 @@
+package relop
+
+import (
+	"fmt"
+
+	"tez/internal/col"
+	"tez/internal/row"
+)
+
+// vecEmitter runs one EmitSpec batch-at-a-time: input rows accumulate
+// into a columnar batch (parsed straight from their wire encoding, no
+// row.Row boxing), the pipeline applies whole-batch kernels (filters
+// narrow the selection vector, projects swap in computed vectors, hash
+// joins fan out into a fixed-shape output batch), and the terminal
+// re-encodes live rows with byte-identical framing to the row engine.
+type vecEmitter struct {
+	em    *emitter
+	size  int
+	batch *col.Batch
+	// joinBatches holds one reusable output batch per hashjoin op
+	// position (nested joins must not share).
+	joinBatches map[int]*col.Batch
+	keyVecs     []col.Vector
+	keyBuf      []byte
+	valBuf      []byte
+	frameBuf    []byte
+}
+
+func newVecEmitter(em *emitter, size int) *vecEmitter {
+	return &vecEmitter{em: em, size: size, batch: col.NewBatch()}
+}
+
+// add appends one encoded input row, flushing on batch-full or on a row
+// width change (widths are stable in practice; a change just costs an
+// early flush, never a wrong result).
+func (ve *vecEmitter) add(encoded []byte) error {
+	ok, err := ve.batch.AppendEncoded(encoded)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		if err := ve.flush(); err != nil {
+			return err
+		}
+		if ok, err = ve.batch.AppendEncoded(encoded); err != nil {
+			return err
+		} else if !ok {
+			return fmt.Errorf("relop: batch rejected row after reset")
+		}
+	}
+	if ve.batch.Len() >= ve.size {
+		return ve.flush()
+	}
+	return nil
+}
+
+// addRow appends an already-decoded row (group outputs).
+func (ve *vecEmitter) addRow(r row.Row) error {
+	if !ve.batch.AppendRow(r) {
+		if err := ve.flush(); err != nil {
+			return err
+		}
+		ve.batch.AppendRow(r) // width unlocked by Reset
+	}
+	if ve.batch.Len() >= ve.size {
+		return ve.flush()
+	}
+	return nil
+}
+
+func (ve *vecEmitter) flush() error {
+	if ve.batch.Len() == 0 {
+		return nil
+	}
+	err := ve.run(ve.batch)
+	ve.batch.Reset()
+	return err
+}
+
+func (ve *vecEmitter) run(b *col.Batch) error {
+	ops := ve.em.spec.Pipe
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case "filter":
+			pred := evalVec(op.Filter, b)
+			b.Filter(&pred)
+			if b.Live() == 0 {
+				return nil
+			}
+		case "project":
+			vecs := make([]col.Vector, len(op.Project))
+			for j, e := range op.Project {
+				vecs[j] = evalVec(e, b)
+			}
+			b = col.FromVectors(b.Len(), b.Sel(), vecs)
+		case "hashjoin":
+			nb, err := ve.hashJoin(i, op, b)
+			if err != nil {
+				return err
+			}
+			b = nb
+			if b.Live() == 0 {
+				return nil
+			}
+		default:
+			return fmt.Errorf("relop: unknown pipe op %q", op.Kind)
+		}
+	}
+	return ve.terminal(b)
+}
+
+// hashJoin probes the build table per live row, appending probe ++ build
+// into a dense output batch. vecEligible guarantees a fixed build width.
+func (ve *vecEmitter) hashJoin(opIdx int, op *PipeOp, b *col.Batch) (*col.Batch, error) {
+	table := ve.em.tables[op.HJ.Input]
+	if table == nil {
+		return nil, fmt.Errorf("relop: hash join against unknown build input %q", op.HJ.Input)
+	}
+	bw := ve.em.proc.tableWidths[op.HJ.Input]
+	if ve.joinBatches == nil {
+		ve.joinBatches = map[int]*col.Batch{}
+	}
+	out := ve.joinBatches[opIdx]
+	if out == nil {
+		out = col.NewBatch()
+		ve.joinBatches[opIdx] = out
+	} else {
+		out.Reset()
+	}
+	pw := b.Width()
+	out.EnsureWidth(pw + bw)
+
+	ve.keyVecs = ve.keyVecs[:0]
+	for _, kx := range op.HJ.ProbeKeys {
+		ve.keyVecs = append(ve.keyVecs, evalVec(kx, b))
+	}
+	rows := 0
+	for k := 0; k < b.Live(); k++ {
+		i := b.RowAt(k)
+		key := ve.keyBuf[:0]
+		for j := range ve.keyVecs {
+			key = col.AppendKeyEncoded(key, &ve.keyVecs[j], i)
+		}
+		ve.keyBuf = key
+		for _, build := range table[string(key)] {
+			for c := 0; c < pw; c++ {
+				out.Col(c).AppendFrom(b.Col(c), i)
+			}
+			for c, val := range build {
+				out.Col(pw + c).AppendValue(val)
+			}
+			rows++
+		}
+	}
+	out.SetRowCount(rows)
+	return out, nil
+}
+
+func (ve *vecEmitter) terminal(b *col.Batch) error {
+	em := ve.em
+	switch em.spec.Kind {
+	case EmitShuffle:
+		ve.keyVecs = ve.keyVecs[:0]
+		for _, kx := range em.spec.Keys {
+			ve.keyVecs = append(ve.keyVecs, evalVec(kx, b))
+		}
+		for k := 0; k < b.Live(); k++ {
+			i := b.RowAt(k)
+			key := ve.keyBuf[:0]
+			for j := range ve.keyVecs {
+				start := len(key)
+				key = col.AppendKeyEncoded(key, &ve.keyVecs[j], i)
+				if j < len(em.spec.Desc) && em.spec.Desc[j] {
+					flipBytes(key[start:])
+				}
+			}
+			ve.keyBuf = key
+			val := ve.valBuf[:0]
+			if em.spec.Tag >= 0 {
+				val = append(val, byte(em.spec.Tag))
+			}
+			val = col.AppendRowEncoded(val, b, i)
+			ve.valBuf = val
+			em.count++
+			if err := em.writer.Write(key, val); err != nil {
+				return err
+			}
+		}
+		return nil
+	case EmitBroadcast:
+		if em.spec.Batched {
+			ve.frameBuf = col.EncodeBatch(ve.frameBuf[:0], b)
+			em.count += int64(b.Live())
+			return em.writer.Write(nil, ve.frameBuf)
+		}
+		return ve.writeRows(b)
+	case EmitSink:
+		return ve.writeRows(b)
+	}
+	// initializer/vm emits are never vectorized (vectorize.go).
+	return fmt.Errorf("relop: emit kind %q cannot run vectorized", em.spec.Kind)
+}
+
+func (ve *vecEmitter) writeRows(b *col.Batch) error {
+	em := ve.em
+	for k := 0; k < b.Live(); k++ {
+		ve.valBuf = col.AppendRowEncoded(ve.valBuf[:0], b, b.RowAt(k))
+		em.count++
+		if err := em.writer.Write(nil, ve.valBuf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
