@@ -12,7 +12,10 @@ vet:
 # in internal/am must flow through the internal/fsm transition tables —
 # no raw `.state = ...` assignments), the data-plane invariant (the batch
 # kernels must never fall back to per-record expression evaluation — no
-# `.Eval(` in the vectorized files), and staticcheck when installed
+# `.Eval(` in the vectorized files), the shuffle publication invariant
+# (all map outputs register through library.RegisterShuffleOutput so the
+# pipelined spill protocol has a single choke point — no direct
+# `Shuffle.Register` outside internal/library), and staticcheck when installed
 # (skipped gracefully where it is not; CI does not install it).
 lint: vet
 	@if grep -rnE '\.state[[:space:]]*=[^=]' internal/am --include='*.go'; then \
@@ -20,6 +23,10 @@ lint: vet
 	fi
 	@if grep -nE '\.Eval\(' internal/relop/vexpr.go internal/relop/vexec.go internal/relop/vagg.go; then \
 		echo 'lint: per-record Eval in the batch kernels (use the columnar kernels)'; exit 1; \
+	fi
+	@if grep -rnE 'Shuffle\.Register\(' --include='*.go' --exclude='*_test.go' . \
+		| grep -vE '^\./internal/(library|shuffle)/'; then \
+		echo 'lint: direct shuffle Register outside internal/library (use library.RegisterShuffleOutput)'; exit 1; \
 	fi
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo 'lint: staticcheck not installed, skipping'; fi
@@ -40,11 +47,13 @@ bench:
 # bench-shuffle measures the shuffle data plane: the go-bench view of the
 # sort/merge ablations plus the grouped-read allocation benchmark, then
 # the structured run that persists BENCH_shuffle.json (ns/op, B/op,
-# allocs/op for serial-boxed vs arena vs arena+spill vs arena+flate, and
-# the end-to-end codec rows). CI uploads the JSON as an artifact.
+# allocs/op for serial-boxed vs arena vs arena+spill vs arena+flate, the
+# end-to-end codec rows, and the pipelined-vs-barrier publication
+# ablation at 1/4/16 spills per producer). CI uploads the JSON as an
+# artifact.
 bench-shuffle:
 	$(GO) test -run XXX -bench BenchmarkGroupedRead -benchmem ./internal/library/
-	$(GO) run ./cmd/tez-bench -exp shuffle-sort,shuffle-codec -shuffle-json BENCH_shuffle.json
+	$(GO) run ./cmd/tez-bench -exp shuffle-sort,shuffle-codec,shuffle-pipeline -shuffle-json BENCH_shuffle.json
 
 # bench-relop measures the vectorization ablation: filter / project /
 # hashjoin / aggregate kernels row-at-a-time vs columnar batches
@@ -84,6 +93,7 @@ bench-graph:
 fuzz-short:
 	$(GO) test -run XXX -fuzz FuzzDecodeRecord -fuzztime 5s ./internal/library/
 	$(GO) test -run XXX -fuzz FuzzBufferReader -fuzztime 5s ./internal/library/
+	$(GO) test -run XXX -fuzz FuzzDMInfo -fuzztime 5s ./internal/library/
 
 # chaos runs the seed-pinned fault-injection suite under the race
 # detector: the determinism contract, the blacklisting/casualty paths in

@@ -142,6 +142,7 @@ func (r *dagRun) onAssigned(at *attemptState, pc *pooledContainer) {
 		SortMB:           r.session.cfg.ShuffleSortMB,
 		MergeFactor:      r.session.cfg.ShuffleMergeFactor,
 		Codec:            r.session.cfg.ShuffleCodec,
+		ShufflePipelined: r.session.cfg.ShufflePipelined,
 		RelopBatchSize:   r.session.cfg.RelopBatchSize,
 		Timeline:         r.tl(),
 	}
@@ -232,18 +233,22 @@ func (r *dagRun) replayEvents(at *attemptState) {
 		}
 	}
 	for _, es := range r.inEdges[vs.v.Name] {
-		for key, dm := range es.movements {
-			srcTask, srcOut := key[0], key[1]
-			for destTask, inputIdx := range es.mgr.Route(srcTask, srcOut) {
-				if destTask != ts.idx {
-					continue
+		for srcTask, sm := range es.srcs {
+			// Replay only the delivered attempt's stream, in emission order,
+			// so a late-joining consumer sees the same increment sequence a
+			// running one did.
+			for _, dm := range sm.deliveredMovements() {
+				for destTask, inputIdx := range es.mgr.Route(srcTask, dm.SrcOutputIndex) {
+					if destTask != ts.idx {
+						continue
+					}
+					routed := dm
+					routed.TargetVertex = vs.v.Name
+					routed.TargetTask = destTask
+					routed.TargetInput = es.e.From
+					routed.TargetInputIndex = inputIdx
+					replay = append(replay, routed)
 				}
-				routed := dm
-				routed.TargetVertex = vs.v.Name
-				routed.TargetTask = destTask
-				routed.TargetInput = es.e.From
-				routed.TargetInputIndex = inputIdx
-				replay = append(replay, routed)
 			}
 		}
 	}
@@ -299,12 +304,14 @@ func (r *dagRun) onAttemptDone(at *attemptState, err error) {
 		if d.cause != "" {
 			r.counters.Add(d.cause, 1)
 		}
+		r.retractAttemptMovements(at)
 	case aFailed:
 		ts.failures++
 		r.counters.Add("ATTEMPTS_FAILED", 1)
 		if r.session.health.taskFailed(at.node) {
 			r.counters.Add("NODES_BLACKLISTED", 1)
 		}
+		r.retractAttemptMovements(at)
 	}
 	if ts.lc.In(tSucceeded) {
 		return // a speculative twin already won
@@ -353,6 +360,11 @@ func (r *dagRun) attemptSucceeded(at *attemptState) {
 			}
 		}
 	}
+
+	// The winner's published movements become the delivered stream on
+	// every out-edge; a losing twin's partially-delivered stream is
+	// retracted and its buffers pruned.
+	r.promoteWinnerMovements(at)
 
 	// Tell downstream vertex managers.
 	for _, es := range r.outEdges[vs.v.Name] {

@@ -96,6 +96,14 @@ type Config struct {
 	// ("none", "flate"). Empty defers to shuffle.Config.Codec and then
 	// "none".
 	ShuffleCodec string
+	// ShufflePipelined turns on pipelined spill publication for the
+	// session's ordered shuffle outputs: every sorted spill is registered
+	// and announced to consumers as it is produced, so fetch/merge
+	// overlaps map-side sorting instead of waiting for the producer
+	// barrier. False defers to shuffle.Config.Pipelined; per-edge
+	// library.OrderedPartitionedConfig.Pipelined takes precedence over
+	// both.
+	ShufflePipelined bool
 	// RelopBatchSize tunes the relational stage processor's vectorized
 	// execution per session: 0 uses the engine default (1024 rows per
 	// batch), > 0 sets the flush threshold, negative forces row-at-a-time

@@ -157,9 +157,30 @@ type edgeState struct {
 	from, to  *vertexState
 	mgr       dag.EdgeManager
 	baseParts int
-	// movements holds the latest DataMovement per (srcTask, srcOutput) so
-	// late-starting consumers can be replayed the full history.
-	movements map[[2]int]event.DataMovement
+	// srcs holds each source task's published DataMovements so
+	// late-starting consumers can be replayed the full history. With
+	// pipelined shuffle a source publishes a sequence of increments, and
+	// speculation can have two attempts publishing concurrently, so
+	// movements are buffered per attempt and exactly one attempt's stream
+	// is "delivered" — visible to consumers — at a time.
+	srcs map[int]*srcMovements
+}
+
+// srcMovements buffers one source task's DataMovement streams by attempt.
+// Only the delivered attempt's movements reach consumers; when that
+// attempt dies mid-stream its increments are retracted and a surviving
+// attempt's buffered stream (if any) is delivered in its place.
+type srcMovements struct {
+	delivered int                          // attempt visible to consumers; -1 none
+	byAttempt map[int][]event.DataMovement // attempt -> movements, emission order
+}
+
+// deliveredMovements returns the consumer-visible stream (nil if none).
+func (sm *srcMovements) deliveredMovements() []event.DataMovement {
+	if sm == nil || sm.delivered < 0 {
+		return nil
+	}
+	return sm.byAttempt[sm.delivered]
 }
 
 // Internal dispatcher messages. The three hot-path messages — assignment,
@@ -338,10 +359,10 @@ func newDAGRun(s *Session, d *dag.DAG, id string) (*dagRun, error) {
 	r.topo = topo
 	for _, e := range d.Edges {
 		es := &edgeState{
-			e:         e,
-			from:      r.vertices[e.From],
-			to:        r.vertices[e.To],
-			movements: make(map[[2]int]event.DataMovement),
+			e:    e,
+			from: r.vertices[e.From],
+			to:   r.vertices[e.To],
+			srcs: make(map[int]*srcMovements),
 		}
 		r.edges = append(r.edges, es)
 		r.inEdges[e.To] = append(r.inEdges[e.To], es)

@@ -30,8 +30,13 @@ func (r *dagRun) onTaskEvent(at *attemptState, ev event.Event) {
 	}
 }
 
-// routeDataMovement stores a movement and delivers it to running consumer
-// attempts per the edge manager's connection pattern (Figure 5).
+// routeDataMovement buffers a movement under its attempt and delivers it
+// to running consumer attempts per the edge manager's connection pattern
+// (Figure 5) — but only when the emitting attempt owns the source task's
+// delivered stream. The first attempt to publish claims delivery; a
+// speculative twin's movements stay buffered until a retraction or winner
+// switchover promotes them, so consumers never interleave two attempts'
+// increment streams.
 func (r *dagRun) routeDataMovement(dm event.DataMovement) {
 	es := r.findEdge(dm.SrcVertex, dm.TargetVertex)
 	if es == nil {
@@ -40,8 +45,16 @@ func (r *dagRun) routeDataMovement(dm event.DataMovement) {
 	// Always record the movement; if the consumer's routing table does not
 	// exist yet (producer ran ahead of consumer configuration), the stored
 	// movement is replayed when consumer attempts start.
-	es.movements[[2]int{dm.SrcTask, dm.SrcOutputIndex}] = dm
-	if es.mgr != nil {
+	sm := es.srcs[dm.SrcTask]
+	if sm == nil {
+		sm = &srcMovements{delivered: -1, byAttempt: make(map[int][]event.DataMovement)}
+		es.srcs[dm.SrcTask] = sm
+	}
+	sm.byAttempt[dm.SrcAttempt] = append(sm.byAttempt[dm.SrcAttempt], dm)
+	if sm.delivered < 0 {
+		sm.delivered = dm.SrcAttempt
+	}
+	if sm.delivered == dm.SrcAttempt && es.mgr != nil {
 		r.deliverMovement(es, dm)
 	}
 }
@@ -60,6 +73,127 @@ func (r *dagRun) deliverMovement(es *edgeState, dm event.DataMovement) {
 			if cat.lc.In(aRunning) {
 				cat.mbox.Put(routed)
 			}
+		}
+	}
+}
+
+// sendRetractions tells running consumer attempts that every movement in
+// moved (one attempt's published stream for srcTask) is obsolete. One
+// InputFailed per routed (consumer task, input index) suffices: the
+// consumer drops the whole increment stream for that input on attempt
+// match. FIFO mailboxes and the single-threaded dispatcher guarantee the
+// retraction is observed before any replacement movement sent afterwards.
+func (r *dagRun) sendRetractions(es *edgeState, srcTask, attempt int, moved []event.DataMovement) {
+	if es.mgr == nil {
+		return
+	}
+	notified := make(map[[2]int]bool)
+	for _, dm := range moved {
+		for destTask, inputIdx := range es.mgr.Route(srcTask, dm.SrcOutputIndex) {
+			if destTask >= len(es.to.tasks) || notified[[2]int{destTask, inputIdx}] {
+				continue
+			}
+			notified[[2]int{destTask, inputIdx}] = true
+			retract := event.InputFailed{
+				TargetVertex:     es.to.v.Name,
+				TargetTask:       destTask,
+				TargetInput:      es.e.From,
+				TargetInputIndex: inputIdx,
+				SrcTask:          srcTask,
+				SrcAttempt:       attempt,
+			}
+			for _, cat := range es.to.tasks[destTask].attempts {
+				if cat.lc.In(aRunning) {
+					cat.mbox.Put(retract)
+				}
+			}
+		}
+	}
+}
+
+// retractAttemptMovements discards a dead attempt's buffered movements on
+// every out-edge. If the attempt owned the delivered stream, consumers
+// are told to drop it and a surviving twin's buffered stream (the winner,
+// or a still-running speculative attempt — later attempts preferred) is
+// delivered in its place. Without this, a pipelined attempt killed
+// mid-stream would leave consumers waiting forever for a final increment
+// that is never coming.
+func (r *dagRun) retractAttemptMovements(at *attemptState) {
+	ts := at.task
+	for _, es := range r.outEdges[ts.vertex.v.Name] {
+		sm := es.srcs[ts.idx]
+		if sm == nil {
+			continue
+		}
+		moved := sm.byAttempt[at.id]
+		delete(sm.byAttempt, at.id)
+		if sm.delivered != at.id {
+			if len(sm.byAttempt) == 0 && sm.delivered < 0 {
+				delete(es.srcs, ts.idx)
+			}
+			continue
+		}
+		sm.delivered = -1
+		r.sendRetractions(es, ts.idx, at.id, moved)
+		// Promote a replacement stream: the winner's, else the newest
+		// still-running attempt's.
+		var cand *attemptState
+		for _, other := range ts.attempts {
+			if other == at || len(sm.byAttempt[other.id]) == 0 {
+				continue
+			}
+			if other == ts.winner || other.lc.In(aRunning) {
+				if cand == nil || other.id > cand.id {
+					cand = other
+				}
+			}
+		}
+		if cand != nil {
+			sm.delivered = cand.id
+			if es.mgr != nil {
+				for _, dm := range sm.byAttempt[cand.id] {
+					r.deliverMovement(es, dm)
+				}
+			}
+		} else if len(sm.byAttempt) == 0 {
+			delete(es.srcs, ts.idx)
+		}
+	}
+}
+
+// promoteWinnerMovements makes the winning attempt's stream the delivered
+// one on every out-edge, retracting a losing twin's stream if that one had
+// been delivered first, and prunes the losers' buffers — after success
+// only the winner's movements matter for replay and recovery.
+func (r *dagRun) promoteWinnerMovements(at *attemptState) {
+	ts := at.task
+	for _, es := range r.outEdges[ts.vertex.v.Name] {
+		sm := es.srcs[ts.idx]
+		if sm == nil {
+			continue
+		}
+		if sm.delivered != at.id {
+			old := sm.delivered
+			if old >= 0 {
+				r.sendRetractions(es, ts.idx, old, sm.byAttempt[old])
+			}
+			sm.delivered = -1
+			if len(sm.byAttempt[at.id]) > 0 {
+				sm.delivered = at.id
+				if es.mgr != nil {
+					for _, dm := range sm.byAttempt[at.id] {
+						r.deliverMovement(es, dm)
+					}
+				}
+			}
+		}
+		for id := range sm.byAttempt {
+			if id != at.id {
+				delete(sm.byAttempt, id)
+			}
+		}
+		if len(sm.byAttempt) == 0 {
+			delete(es.srcs, ts.idx)
 		}
 	}
 }
@@ -162,34 +296,16 @@ func (r *dagRun) reexecuteTask(ts *taskState) {
 	r.counters.Add("TASKS_REEXECUTED", 1)
 
 	// Retract stored movements of this task and notify running consumers.
+	// The rerun attempt republishes its whole stream from spill 0.
 	for _, es := range r.outEdges[vs.v.Name] {
-		if es.mgr == nil {
+		sm := es.srcs[ts.idx]
+		if sm == nil {
 			continue
 		}
-		for key := range es.movements {
-			if key[0] != ts.idx {
-				continue
-			}
-			delete(es.movements, key)
-			for destTask, inputIdx := range es.mgr.Route(key[0], key[1]) {
-				if destTask >= len(es.to.tasks) {
-					continue
-				}
-				retract := event.InputFailed{
-					TargetVertex:     es.to.v.Name,
-					TargetTask:       destTask,
-					TargetInput:      es.e.From,
-					TargetInputIndex: inputIdx,
-					SrcTask:          ts.idx,
-					SrcAttempt:       oldAttempt,
-				}
-				for _, cat := range es.to.tasks[destTask].attempts {
-					if cat.lc.In(aRunning) {
-						cat.mbox.Put(retract)
-					}
-				}
-			}
+		if sm.delivered >= 0 {
+			r.sendRetractions(es, ts.idx, oldAttempt, sm.deliveredMovements())
 		}
+		delete(es.srcs, ts.idx)
 	}
 	r.newAttempt(ts, false)
 }

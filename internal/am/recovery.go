@@ -2,6 +2,7 @@ package am
 
 import (
 	"fmt"
+	"sort"
 
 	"tez/internal/dag"
 	"tez/internal/event"
@@ -82,8 +83,16 @@ func (r *dagRun) saveCheckpoint() {
 			continue
 		}
 		ec := edgeCheckpoint{From: es.e.From, To: es.e.To, BaseParts: es.baseParts}
-		for _, dm := range es.movements {
-			ec.Movements = append(ec.Movements, dm)
+		// Persist each source's delivered stream in ascending task order
+		// (and emission order within a task) so recovery replays the same
+		// increment sequence a live consumer saw.
+		srcTasks := make([]int, 0, len(es.srcs))
+		for srcTask := range es.srcs {
+			srcTasks = append(srcTasks, srcTask)
+		}
+		sort.Ints(srcTasks)
+		for _, srcTask := range srcTasks {
+			ec.Movements = append(ec.Movements, es.srcs[srcTask].deliveredMovements()...)
 		}
 		cp.Edges = append(cp.Edges, ec)
 	}
@@ -154,7 +163,12 @@ func (r *dagRun) applyCheckpoint(cp *checkpoint) {
 		}
 		es.baseParts = ec.BaseParts
 		for _, dm := range ec.Movements {
-			es.movements[[2]int{dm.SrcTask, dm.SrcOutputIndex}] = dm
+			sm := es.srcs[dm.SrcTask]
+			if sm == nil {
+				sm = &srcMovements{delivered: dm.SrcAttempt, byAttempt: make(map[int][]event.DataMovement)}
+				es.srcs[dm.SrcTask] = sm
+			}
+			sm.byAttempt[dm.SrcAttempt] = append(sm.byAttempt[dm.SrcAttempt], dm)
 		}
 	}
 	// Restored vertices with unfinished commits must still commit.

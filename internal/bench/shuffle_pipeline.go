@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+
+	"tez/internal/am"
+	"tez/internal/dag"
+	"tez/internal/library"
+	"tez/internal/platform"
+	"tez/internal/plugin"
+)
+
+// ShufflePipelineResult is one row of the pipelined-publication ablation
+// for BENCH_shuffle.json: the same wordcount DAG run under the producer
+// barrier and under pipelined spill publication, at a sort budget tuned
+// to a target number of sorted runs per producer.
+type ShufflePipelineResult struct {
+	Spills     int     `json:"spills_per_producer"` // target sorted runs per producer
+	Mode       string  `json:"mode"`                // barrier | pipelined
+	Millis     float64 `json:"ms"`
+	Increments int64   `json:"consumer_increments"` // SHUFFLE_INCREMENTS: increments stored across all consumers
+	Identical  bool    `json:"identical_to_barrier"`
+}
+
+// pipelineLines sizes each producer's input. The interesting regime is a
+// map phase long enough that consumers have real fetch/merge work to
+// overlap with it.
+func pipelineLines(sc Scale) int {
+	switch sc.Name {
+	case "full":
+		return 120_000
+	case "tiny":
+		return 4_000
+	default:
+		return 50_000
+	}
+}
+
+// sortChargePerRecord mirrors the library's sort-budget accounting: the
+// arena holds key+value bytes and each record charges one 24-byte index
+// entry, so a spill budget targeting N runs must count both.
+const sortChargePerRecord = 24
+
+// ShufflePipelineResults measures pipelined spill publication against the
+// producer barrier end to end: a wordcount DAG with an aggressive slow
+// start (consumers up early) at 1, 4 and 16 target spills per producer.
+// At 1 spill pipelined publication degenerates to the barrier (a single
+// increment at close); past that, consumers fetch and merge increments
+// while producers are still sorting, and the map-side close no longer
+// re-merges its spills. Both modes must commit byte-identical output.
+func ShufflePipelineResults(sc Scale) ([]ShufflePipelineResult, error) {
+	const producers = 3
+	const reducers = 4
+	pcfg := platform.Default(6)
+	// One split — one long-lived producer — per input file. With the
+	// default 64 KiB blocks the input shatters into ~20 short map tasks
+	// and the barrier already overlaps across tasks; the pipelining win
+	// is overlap within a producer's lifetime, so producers must be few
+	// and long.
+	pcfg.DFS.BlockSize = 16 << 20
+	plat := platform.New(pcfg)
+	defer plat.Stop()
+
+	lines := pipelineLines(sc)
+	var paths []string
+	var rawPerProducer int64
+	for p := 0; p < producers; p++ {
+		path := fmt.Sprintf("/bench/pipeline/words-%d", p)
+		nodes := plat.FS.LiveNodes()
+		w, err := library.CreateRecordFile(plat.FS, path, nodes[p%len(nodes)])
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < lines; i++ {
+			line := fmt.Sprintf("w%d w%d w%d common words here %d", i%97, i%31, i%7, i)
+			if err := w.Write(nil, []byte(line)); err != nil {
+				return nil, err
+			}
+			if p == 0 {
+				// Track the sort-buffer charge the map output will incur
+				// (key + "1" value per token, plus the index entry) to
+				// size the spill budget.
+				for _, word := range strings.Fields(line) {
+					rawPerProducer += int64(len(word)) + 1 + sortChargePerRecord
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+
+	run := func(mode string, sortBytes int64, outPath string) (time.Duration, int64, error) {
+		d := dag.New(fmt.Sprintf("pipeline-%s", mode))
+		m := d.AddVertex("map", plugin.Desc(library.MapProcessorName, library.FuncConfig{Func: "bench.tokenize"}), -1)
+		m.Sources = []dag.DataSource{{
+			Name:        "text",
+			Input:       plugin.Desc(library.DFSSourceInputName, nil),
+			Initializer: plugin.Desc(library.SplitInitializerName, library.SplitSourceConfig{Paths: paths}),
+		}}
+		r := d.AddVertex("reduce", plugin.Desc(library.ReduceProcessorName, library.FuncConfig{Func: "bench.count"}), reducers)
+		r.Sinks = []dag.DataSink{{
+			Name:      "counts",
+			Output:    plugin.Desc(library.DFSSinkOutputName, library.DFSSinkConfig{Path: outPath}),
+			Committer: plugin.Desc(library.DFSCommitterName, library.DFSSinkConfig{Path: outPath}),
+		}}
+		d.Connect(m, r, dag.EdgeProperty{
+			Movement: dag.ScatterGather,
+			Output: plugin.Desc(library.OrderedPartitionedOutputName, library.OrderedPartitionedConfig{
+				SortBytes: sortBytes,
+				Pipelined: mode == "pipelined",
+			}),
+			Input: plugin.Desc(library.OrderedGroupedInputName, nil),
+		})
+		sess := am.NewSession(plat, am.Config{
+			Name: fmt.Sprintf("pipeline-%s", mode),
+			// Consumers up almost immediately, so the two modes differ
+			// only in when data becomes fetchable. The merge factor stays
+			// at the default: increments per consumer remain under it, so
+			// the reduce side streams one heap merge over all runs and
+			// pipelined mode never pays a materialised re-merge — that re-
+			// merge (the map-side spill merge at close) is exactly what
+			// the barrier keeps on its critical path.
+			SlowStartMin: 0.02,
+			SlowStartMax: 0.05,
+		})
+		defer sess.Close()
+		start := time.Now()
+		res, err := sess.Run(d)
+		dur := time.Since(start)
+		if err != nil {
+			return 0, 0, err
+		}
+		if res.Status != am.DAGSucceeded {
+			return 0, 0, fmt.Errorf("pipeline %s: %v", mode, res.Status)
+		}
+		return dur, res.Counters.Get("SHUFFLE_INCREMENTS"), nil
+	}
+
+	iters := 2
+	if sc.Name == "tiny" {
+		iters = 1
+	}
+	var rows []ShufflePipelineResult
+	for _, spills := range []int{1, 4, 16} {
+		sortBytes := int64(-1) // unbounded: the whole output is one sorted run
+		if spills > 1 {
+			sortBytes = rawPerProducer / int64(spills)
+		}
+		perMode := map[string]ShufflePipelineResult{}
+		outputs := map[string]map[string][]byte{}
+		for _, mode := range []string{"barrier", "pipelined"} {
+			var best time.Duration
+			var incs int64
+			for it := 0; it < iters; it++ {
+				out := fmt.Sprintf("/bench/pipeline/out-%s-s%d-i%d", mode, spills, it)
+				dur, inc, err := run(mode, sortBytes, out)
+				if err != nil {
+					return nil, fmt.Errorf("%s at %d spills: %w", mode, spills, err)
+				}
+				if best == 0 || dur < best {
+					best, incs = dur, inc
+				}
+				if it == 0 {
+					parts, err := readParts(plat, out)
+					if err != nil {
+						return nil, err
+					}
+					outputs[mode] = parts
+				}
+			}
+			perMode[mode] = ShufflePipelineResult{
+				Spills:     spills,
+				Mode:       mode,
+				Millis:     float64(best.Microseconds()) / 1000,
+				Increments: incs,
+			}
+		}
+		identical := reflect.DeepEqual(outputs["barrier"], outputs["pipelined"])
+		for _, mode := range []string{"barrier", "pipelined"} {
+			row := perMode[mode]
+			row.Identical = identical
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// readParts reads the committed part files of one output directory keyed
+// by their name relative to it, for byte-level comparison across modes.
+func readParts(plat *platform.Platform, out string) (map[string][]byte, error) {
+	res := map[string][]byte{}
+	for _, f := range plat.FS.List(out + "/part-") {
+		blob, err := plat.FS.ReadFile(f, "")
+		if err != nil {
+			return nil, err
+		}
+		res[strings.TrimPrefix(f, out)] = append([]byte(nil), blob...)
+	}
+	return res, nil
+}
+
+// ShufflePipelineReport renders precomputed pipeline-ablation rows.
+func ShufflePipelineReport(rows []ShufflePipelineResult) *Report {
+	rep := &Report{
+		Figure:  "Ablation",
+		Title:   "Pipelined spill publication vs producer barrier, end to end",
+		Headers: []string{"spills/producer", "mode", "time (ms)", "increments", "speedup", "result"},
+		Notes: []string{
+			"speedup compares against the barrier run at the same spill budget; result compares committed bytes",
+		},
+	}
+	barrier := map[int]float64{}
+	for _, r := range rows {
+		if r.Mode == "barrier" {
+			barrier[r.Spills] = r.Millis
+		}
+	}
+	for _, r := range rows {
+		speed := "-"
+		if r.Mode == "pipelined" && r.Millis > 0 && barrier[r.Spills] > 0 {
+			speed = fmt.Sprintf("%.2fx", barrier[r.Spills]/r.Millis)
+		}
+		verdict := "identical"
+		if !r.Identical {
+			verdict = "DIVERGED"
+		}
+		rep.AddRow(fmt.Sprintf("%d", r.Spills), r.Mode,
+			fmt.Sprintf("%.1f", r.Millis), fmt.Sprintf("%d", r.Increments),
+			speed, verdict)
+	}
+	return rep
+}

@@ -161,9 +161,7 @@ func TestStaleFetchDoesNotClobberNewerAttempt(t *testing.T) {
 	if at := <-fetched; at != 1 {
 		t.Fatalf("second fetch was attempt %d", at)
 	}
-	fs.mu.Lock()
-	_, stale := fs.runs[0]
-	fs.mu.Unlock()
+	_, stale := fs.storedRun(0, 0)
 	if stale {
 		t.Fatal("retracted attempt's data was stored")
 	}

@@ -42,6 +42,13 @@ type DMInfo struct {
 	Size    int64
 	RawSize int64
 	Codec   string
+	// Spill / Final sequence pipelined publication: increment Spill of the
+	// producing attempt's output stream, Final set on the last one. The
+	// gob zero value (Spill 0, Final false) is what legacy single-shot
+	// payloads decode to, and consumers treat the movement envelope
+	// (SrcSpill/SrcMore) as authoritative, so old payloads keep working.
+	Spill int
+	Final bool
 }
 
 // VMStats is the VertexManagerEvent payload the shuffle outputs send to
@@ -73,6 +80,13 @@ type OrderedPartitionedConfig struct {
 	// in-memory sort buffer, < 0 forces unbounded, 0 defers to the
 	// SortMB knobs. Mainly for tests — the knobs speak megabytes.
 	SortBytes int64
+	// Pipelined publishes every sorted spill as it is produced — spill-
+	// indexed registration plus an incremental DataMovement per partition
+	// — so consumers fetch and merge while the producer is still sorting.
+	// False defers to the per-task (runtime.Services.ShufflePipelined)
+	// and cluster (shuffle.Config.Pipelined) knobs; any of the three
+	// turns it on.
+	Pipelined bool
 }
 
 // Data-plane defaults when no knob overrides them.
@@ -110,7 +124,14 @@ type OrderedPartitionedKVOutput struct {
 	limit       int64 // sort budget in bytes; 0 = unbounded
 	parts       int
 	sb          *sortBuffer
-	spills      [][][]byte // spills[s][p] = sorted encoded run
+	spills      [][][]byte // spills[s][p] = sorted encoded run (barrier mode)
+
+	// Pipelined mode: instead of buffering spills for Close, each one is
+	// registered under a spill-indexed OutputID and announced immediately.
+	pipelined bool
+	published int           // increments published so far
+	rawTotals []int64       // cumulative raw bytes per partition (VMStats)
+	deferred  []event.Event // increment events buffered when ctx.Emit is nil
 }
 
 // Initialize decodes configuration and prepares the sort buffer.
@@ -138,6 +159,13 @@ func (o *OrderedPartitionedKVOutput) Initialize(ctx *runtime.Context) error {
 	}
 	o.parts = ctx.PhysicalCount
 	o.limit = o.sortLimit()
+	o.pipelined = o.cfg.Pipelined || ctx.Services.ShufflePipelined ||
+		(ctx.Services.Shuffle != nil && ctx.Services.Shuffle.Pipelined())
+	if o.pipelined {
+		o.rawTotals = make([]int64, o.parts)
+	}
+	o.published = 0
+	o.deferred = nil
 	o.sb = sortBufferPool.Get().(*sortBuffer)
 	return nil
 }
@@ -190,8 +218,12 @@ func (o *OrderedPartitionedKVOutput) write(k, v []byte) error {
 
 // spill sorts the arena and encodes it into one sorted run per partition
 // (through the combiner when configured), then resets the arena keeping
-// its capacity — the ExternalSorter spill, minus the disk.
+// its capacity — the ExternalSorter spill, minus the disk. In pipelined
+// mode the spill is published immediately instead of buffered.
 func (o *OrderedPartitionedKVOutput) spill() error {
+	if o.pipelined {
+		return o.spillPipelined()
+	}
 	ctr := o.ctx.Services.Counters
 	start := time.Now()
 	sortStart := start
@@ -220,6 +252,122 @@ func (o *OrderedPartitionedKVOutput) spill() error {
 	return nil
 }
 
+// spillPipelined publishes the current arena as increment o.published:
+// register under the spill-indexed id, announce to consumers right away
+// (through ctx.Emit when the runner wired one; buffered for Close
+// otherwise), and die on an injected spill fault — the mid-stream death
+// the AM's retraction path exists for.
+func (o *OrderedPartitionedKVOutput) spillPipelined() error {
+	spillIdx := o.published
+	events, err := o.publishIncrement(false)
+	if err != nil {
+		return err
+	}
+	if o.ctx.Emit != nil {
+		for _, ev := range events {
+			o.ctx.Emit(ev)
+		}
+	} else {
+		o.deferred = append(o.deferred, events...)
+	}
+	if svc := o.ctx.Services.Shuffle; svc != nil {
+		site := shuffle.OutputID{
+			DAG:     o.ctx.Meta.DAG,
+			Vertex:  o.ctx.Meta.Vertex,
+			Name:    o.ctx.Name,
+			Task:    o.ctx.Meta.Task,
+			Attempt: o.ctx.Meta.Attempt,
+			Spill:   spillIdx,
+		}.String()
+		if svc.SpillFault(site) {
+			return fmt.Errorf("library: injected spill fault after increment %d of %s", spillIdx, o.ctx.Name)
+		}
+	}
+	return nil
+}
+
+// publishIncrement sorts and encodes the arena's current contents as one
+// increment: every partition (empty ones included, so each partition's
+// increment stream stays densely numbered 0..total-1) is encoded, codec'd,
+// registered under the spill-indexed OutputID, and announced with a
+// DataMovement whose SrcSpill/SrcMore envelope sequences the stream.
+// Cumulative raw sizes accumulate into rawTotals so the final VMStats
+// reports the same totals a barrier run would (combiner-free case).
+func (o *OrderedPartitionedKVOutput) publishIncrement(final bool) ([]event.Event, error) {
+	ctr := o.ctx.Services.Counters
+	start := time.Now()
+	o.sb.sort()
+	sortNS := time.Since(start).Nanoseconds()
+	if ctr != nil {
+		ctr.Add("SHUFFLE_SORT_TIME_NS", sortNS)
+	}
+	records := int64(len(o.sb.refs))
+	wire := make([][]byte, o.parts)
+	rawSizes := make([]int64, o.parts)
+	for p := 0; p < o.parts; p++ {
+		buf, err := encodeStream(&refsReader{sb: o.sb, refs: o.sb.partSpan(p)}, o.combine, getRunBuf(), ctr)
+		if err != nil {
+			return nil, err
+		}
+		rawSizes[p] = int64(len(buf))
+		o.rawTotals[p] += int64(len(buf))
+		if o.codec == nil {
+			wire[p] = buf
+			continue
+		}
+		wire[p], err = encodeBlock(o.codec, buf)
+		if err != nil {
+			return nil, err
+		}
+		putRunBuf(buf)
+	}
+	id := shuffle.OutputID{
+		DAG:     o.ctx.Meta.DAG,
+		Vertex:  o.ctx.Meta.Vertex,
+		Name:    o.ctx.Name,
+		Task:    o.ctx.Meta.Task,
+		Attempt: o.ctx.Meta.Attempt,
+		Spill:   o.published,
+	}
+	if err := o.ctx.Services.Shuffle.Register(o.ctx.Services.Node, id, wire, o.ctx.Services.Token); err != nil {
+		return nil, err
+	}
+	codecName := ""
+	if o.codec != nil {
+		codecName = o.codec.Name()
+	}
+	events := make([]event.Event, 0, o.parts)
+	for i := 0; i < o.parts; i++ {
+		events = append(events, event.DataMovement{
+			SrcVertex:      o.ctx.Meta.Vertex,
+			SrcTask:        o.ctx.Meta.Task,
+			SrcAttempt:     o.ctx.Meta.Attempt,
+			SrcOutputIndex: i,
+			SrcSpill:       o.published,
+			SrcMore:        !final,
+			TargetVertex:   o.ctx.Name,
+			Payload: plugin.MustEncode(DMInfo{
+				ID:        id,
+				Partition: i,
+				Size:      int64(len(wire[i])),
+				RawSize:   rawSizes[i],
+				Codec:     codecName,
+				Spill:     o.published,
+				Final:     final,
+			}),
+		})
+		putRunBuf(wire[i]) // Register deep-copied the partitions
+		wire[i] = nil
+	}
+	if ctr != nil && !final {
+		ctr.Add("SHUFFLE_SPILLS", 1)
+	}
+	o.recordSpan(timeline.ShuffleSpill, fmt.Sprintf("%s s%d", o.ctx.Name, o.published), time.Since(start), records)
+	o.published++
+	o.sb.reset()
+	return events, nil
+}
+
 // recordSpan journals one data-plane span for this attempt (no-op without
 // a journal).
 func (o *OrderedPartitionedKVOutput) recordSpan(t timeline.Type, info string, dur time.Duration, val int64) {
@@ -242,6 +390,9 @@ func (o *OrderedPartitionedKVOutput) recordSpan(t timeline.Type, info string, du
 // small worker pool — partitions are independent, so the output bytes do
 // not depend on worker interleaving.
 func (o *OrderedPartitionedKVOutput) Close() ([]event.Event, error) {
+	if o.pipelined {
+		return o.closePipelined()
+	}
 	ctr := o.ctx.Services.Counters
 	sortStart := time.Now()
 	o.sb.sort()
@@ -352,6 +503,36 @@ func (o *OrderedPartitionedKVOutput) Close() ([]event.Event, error) {
 	return events, nil
 }
 
+// closePipelined publishes the in-memory remainder as the final increment
+// (SrcMore false — its SrcSpill+1 tells consumers the stream's total) and
+// the VMStats event carrying cumulative raw sizes, so auto-parallelism
+// sees the same totals as a barrier run. There is no producer-side merge:
+// consumers fold the increments into their MergeFactor-bounded merge.
+func (o *OrderedPartitionedKVOutput) closePipelined() ([]event.Event, error) {
+	events, err := o.publishIncrement(true)
+	if err != nil {
+		return nil, err
+	}
+	if !o.cfg.NoStats {
+		events = append(events, event.VertexManagerEvent{
+			TargetVertex: o.ctx.Name,
+			SrcVertex:    o.ctx.Meta.Vertex,
+			SrcTask:      o.ctx.Meta.Task,
+			Payload:      plugin.MustEncode(VMStats{PartitionSizes: o.rawTotals}),
+		})
+	}
+	if len(o.deferred) > 0 {
+		// Increments accumulated while no Emit hook was wired (direct
+		// harness drives) ride out with Close, in publication order.
+		events = append(o.deferred, events...)
+		o.deferred = nil
+	}
+	o.sb.reset()
+	sortBufferPool.Put(o.sb)
+	o.sb = nil
+	return events, nil
+}
+
 // finalizePartition produces one partition's final raw and wire buffers:
 // encode the sorted in-memory segment, merge it with the partition's
 // spill runs (combining), then run the block codec.
@@ -425,24 +606,26 @@ type fetchSet struct {
 	ctx     *runtime.Context
 	fetcher *shuffle.Fetcher // shared by all fetcher goroutines
 
-	mu        sync.Mutex
-	work      *sync.Cond
-	done      *sync.Cond
-	runs      map[int][]byte // physical input index -> fetched data
-	attempt   map[int]int    // physical input index -> producing attempt
-	srcTask   map[int]int    // physical input index -> producing task
-	expect    map[int]int    // physical input index -> latest announced attempt
-	inflight  map[int]bool   // physical input indexes currently being fetched
-	merged    map[int]int    // indexes consumed into an intermediate merge -> attempt
-	premerged [][]byte       // intermediate merge outputs (ordered path)
+	mu   sync.Mutex
+	work *sync.Cond
+	done *sync.Cond
+	// states holds the per-physical-input increment stream of the
+	// currently expected producer attempt. A legacy single-shot producer
+	// is the one-increment special case (total 1 announced by its only
+	// movement); a pipelined producer grows stored/merged increment by
+	// increment until the final announcement fixes total.
+	states    map[int]*inputState
+	expect    map[int]int          // physical input index -> latest announced attempt
+	inflight  map[[2]int]bool      // (input index, spill) currently being fetched
+	premerged [][]byte             // intermediate merge outputs (ordered path)
 	// pending is a FIFO consumed through a head cursor (compacted when
 	// the dead prefix dominates) — the previous re-slice-on-every-scan
 	// made each wake O(queue) and the whole drain O(n²). Movements whose
-	// index is in flight are parked in stash and re-queued when that
-	// fetch completes, so scans never revisit them.
+	// (index, spill) is in flight are parked in stash and re-queued when
+	// that fetch completes, so scans never revisit them.
 	pending  []event.DataMovement
 	head     int
-	stash    map[int][]event.DataMovement
+	stash    map[[2]int][]event.DataMovement
 	failure  *runtime.InputReadError
 	stopped  bool
 	fetchers sync.WaitGroup
@@ -455,17 +638,32 @@ type fetchSet struct {
 	testHookFetched func(event.DataMovement)
 }
 
+// inputState is one physical input's increment stream from its current
+// producer attempt.
+type inputState struct {
+	attempt int
+	srcTask int
+	total   int            // announced increment count; 0 until the final arrives
+	stored  map[int][]byte // spill index -> fetched sorted run
+	merged  map[int]bool   // spill indexes consumed into an intermediate merge
+}
+
+// arrived reports how many of the stream's increments are accounted for
+// (fetched or already folded into a merge).
+func (st *inputState) arrived() int { return len(st.stored) + len(st.merged) }
+
+// complete reports whether the whole stream is here: the final increment
+// has been announced and every increment arrived.
+func (st *inputState) complete() bool { return st.total > 0 && st.arrived() >= st.total }
+
 func newFetchSet(ctx *runtime.Context) *fetchSet {
 	fs := &fetchSet{
 		ctx:      ctx,
 		fetcher:  &shuffle.Fetcher{Service: ctx.Services.Shuffle, Token: ctx.Services.Token},
-		runs:     make(map[int][]byte),
-		attempt:  make(map[int]int),
-		srcTask:  make(map[int]int),
+		states:   make(map[int]*inputState),
 		expect:   make(map[int]int),
-		inflight: make(map[int]bool),
-		merged:   make(map[int]int),
-		stash:    make(map[int][]event.DataMovement),
+		inflight: make(map[[2]int]bool),
+		stash:    make(map[[2]int][]event.DataMovement),
 		quit:     make(chan struct{}),
 	}
 	fs.work = sync.NewCond(&fs.mu)
@@ -511,13 +709,39 @@ func (f *fetchSet) mergeFactor() int {
 	return n
 }
 
-// handleEvent records a DataMovement for fetching or an InputFailed
-// retraction.
+// handleEvent records a DataMovement increment for fetching or an
+// InputFailed retraction. Attempt tracking is upgrade-only: a movement
+// from an attempt older than the latest announced one is dropped, and a
+// newer attempt's first movement discards the older attempt's stream.
 func (f *fetchSet) handleEvent(ev event.Event) error {
 	switch e := ev.(type) {
 	case event.DataMovement:
 		f.mu.Lock()
-		f.expect[e.TargetInputIndex] = e.SrcAttempt
+		if e.SrcSpill < 0 {
+			f.mu.Unlock()
+			return fmt.Errorf("library: input %s: negative spill index %d from task %d", f.ctx.Name, e.SrcSpill, e.SrcTask)
+		}
+		idx := e.TargetInputIndex
+		if cur, ok := f.expect[idx]; ok && e.SrcAttempt < cur {
+			f.mu.Unlock()
+			return nil // stale announcement of a superseded attempt
+		} else if !ok || e.SrcAttempt > cur {
+			f.retractLocked(idx, e.SrcTask)
+			f.expect[idx] = e.SrcAttempt
+		}
+		st := f.states[idx]
+		if st == nil {
+			st = &inputState{
+				attempt: e.SrcAttempt,
+				srcTask: e.SrcTask,
+				stored:  make(map[int][]byte),
+				merged:  make(map[int]bool),
+			}
+			f.states[idx] = st
+		}
+		if !e.SrcMore && st.total == 0 {
+			st.total = e.SrcSpill + 1
+		}
 		f.pending = append(f.pending, e)
 		f.work.Signal()
 		f.mu.Unlock()
@@ -525,29 +749,34 @@ func (f *fetchSet) handleEvent(ev event.Event) error {
 		f.mu.Lock()
 		if at, ok := f.expect[e.TargetInputIndex]; ok && at == e.SrcAttempt {
 			delete(f.expect, e.TargetInputIndex)
-		}
-		if at, ok := f.attempt[e.TargetInputIndex]; ok && at == e.SrcAttempt {
-			delete(f.runs, e.TargetInputIndex)
-			delete(f.attempt, e.TargetInputIndex)
-			delete(f.srcTask, e.TargetInputIndex)
-		}
-		if at, ok := f.merged[e.TargetInputIndex]; ok && at == e.SrcAttempt && f.failure == nil {
-			// The retracted run was already folded into an intermediate
-			// merge and cannot be separated back out; surface the loss so
-			// this attempt is re-run against the replacement data.
-			f.failure = &runtime.InputReadError{
-				InputName:  f.ctx.Name,
-				SrcVertex:  f.ctx.Name,
-				SrcTask:    e.SrcTask,
-				SrcAttempt: e.SrcAttempt,
-				Err:        fmt.Errorf("library: input retracted after merge"),
-			}
-			f.work.Broadcast()
-			f.done.Broadcast()
+			f.retractLocked(e.TargetInputIndex, e.SrcTask)
 		}
 		f.mu.Unlock()
 	}
 	return nil
+}
+
+// retractLocked drops the stream stored for idx (if any). A stream some
+// of whose increments were already folded into an intermediate merge
+// cannot be separated back out; surface the loss so this consumer attempt
+// is re-run against the replacement data.
+func (f *fetchSet) retractLocked(idx, srcTask int) {
+	st, ok := f.states[idx]
+	if !ok {
+		return
+	}
+	if len(st.merged) > 0 && f.failure == nil {
+		f.failure = &runtime.InputReadError{
+			InputName:  f.ctx.Name,
+			SrcVertex:  f.ctx.Name,
+			SrcTask:    srcTask,
+			SrcAttempt: st.attempt,
+			Err:        fmt.Errorf("library: input retracted after merge"),
+		}
+		f.work.Broadcast()
+		f.done.Broadcast()
+	}
+	delete(f.states, idx)
 }
 
 // start launches the fetcher pool. Fetches overlap with remaining
@@ -605,14 +834,19 @@ func (f *fetchSet) nextLocked() (event.DataMovement, bool) {
 			// its own DataMovement.
 			continue
 		}
-		if at, ok := f.attempt[idx]; ok && at == dm.SrcAttempt {
-			continue // duplicate announcement of a stored run
+		st := f.states[idx]
+		if st == nil || st.attempt != dm.SrcAttempt {
+			continue // stream discarded while queued
 		}
-		if at, ok := f.merged[idx]; ok && at == dm.SrcAttempt {
+		if _, ok := st.stored[dm.SrcSpill]; ok {
+			continue // duplicate announcement of a stored increment
+		}
+		if st.merged[dm.SrcSpill] {
 			continue // already consumed into an intermediate merge
 		}
-		if f.inflight[idx] {
-			f.stash[idx] = append(f.stash[idx], dm)
+		key := [2]int{idx, dm.SrcSpill}
+		if f.inflight[key] {
+			f.stash[key] = append(f.stash[key], dm)
 			continue
 		}
 		return dm, true
@@ -637,15 +871,16 @@ func (f *fetchSet) fetchLoop() {
 			return
 		}
 		idx := dm.TargetInputIndex
-		f.inflight[idx] = true
+		key := [2]int{idx, dm.SrcSpill}
+		f.inflight[key] = true
 		f.mu.Unlock()
 
-		data, err := f.fetchOne(dm)
+		data, wireLen, err := f.fetchOne(dm)
 
 		f.mu.Lock()
-		delete(f.inflight, idx)
-		if s, ok := f.stash[idx]; ok {
-			delete(f.stash, idx)
+		delete(f.inflight, key)
+		if s, ok := f.stash[key]; ok {
+			delete(f.stash, key)
 			f.pending = append(f.pending, s...)
 			f.work.Signal()
 		}
@@ -653,10 +888,13 @@ func (f *fetchSet) fetchLoop() {
 		// InputFailed retraction may have raced with the fetch, and a
 		// stale in-flight fetch must not clobber (or fail) the newer
 		// attempt that replaced it.
+		st := f.states[idx]
 		at, live := f.expect[idx]
-		current := live && at == dm.SrcAttempt
-		if mAt, ok := f.merged[idx]; ok && mAt == dm.SrcAttempt {
-			current = false // duplicate of an already-merged run
+		current := live && at == dm.SrcAttempt && st != nil && st.attempt == dm.SrcAttempt
+		if current {
+			if _, ok := st.stored[dm.SrcSpill]; ok || st.merged[dm.SrcSpill] {
+				current = false // duplicate of an already-accounted increment
+			}
 		}
 		switch {
 		case err != nil && current:
@@ -672,9 +910,17 @@ func (f *fetchSet) fetchLoop() {
 			f.work.Broadcast()
 			f.done.Broadcast()
 		case err == nil && current:
-			f.runs[idx] = data
-			f.attempt[idx] = dm.SrcAttempt
-			f.srcTask[idx] = dm.SrcTask
+			st.stored[dm.SrcSpill] = data
+			// Byte counters accumulate here, in the store-success branch,
+			// so a stale or duplicate transfer never inflates them — they
+			// stay an exact per-increment account of what the merge
+			// consumed, across any number of increments per source.
+			if ctr := f.ctx.Services.Counters; ctr != nil {
+				ctr.Add("SHUFFLE_BYTES", int64(wireLen))
+				ctr.Add("SHUFFLE_BYTES_WIRE", int64(wireLen))
+				ctr.Add("SHUFFLE_BYTES_RAW", int64(len(data)))
+				ctr.Add("SHUFFLE_INCREMENTS", 1)
+			}
 			f.done.Broadcast()
 		}
 		// A stale fetch result — success or error — is dropped: the
@@ -685,13 +931,14 @@ func (f *fetchSet) fetchLoop() {
 
 // fetchOne decodes and fetches a single movement, maintaining the
 // fetch-path metrics (in-flight gauge + peak, per-fetch latency, retry
-// and byte counts) and decoding the wire block codec. The wire/raw byte
-// counters are maintained here, on the consumer, so bytes are counted
-// once per transfer.
-func (f *fetchSet) fetchOne(dm event.DataMovement) ([]byte, error) {
+// counts) and decoding the wire block codec. It returns the decoded data
+// and the wire length; byte counters are charged by the caller only when
+// the result is actually stored, so retracted and duplicate transfers
+// don't count.
+func (f *fetchSet) fetchOne(dm event.DataMovement) ([]byte, int, error) {
 	var info DMInfo
 	if err := plugin.Decode(dm.Payload, &info); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ctr := f.ctx.Services.Counters
 	if ctr != nil {
@@ -714,35 +961,87 @@ func (f *fetchSet) fetchOne(dm event.DataMovement) ([]byte, error) {
 		if retries > 0 {
 			ctr.Add("SHUFFLE_FETCH_RETRIES", int64(retries))
 		}
-		if err == nil {
-			ctr.Add("SHUFFLE_BYTES", int64(wireLen))
-			ctr.Add("SHUFFLE_BYTES_WIRE", int64(wireLen))
-			ctr.Add("SHUFFLE_BYTES_RAW", int64(len(data)))
-		}
 	}
-	return data, err
+	return data, wireLen, err
 }
 
-// wait blocks until every physical input is fetched, an input failed, or
-// the attempt is killed. It returns the fetched runs ordered by physical
-// input index.
+// completeLocked reports whether every physical input's increment stream
+// has fully arrived.
+func (f *fetchSet) completeLocked() bool {
+	if len(f.states) < f.ctx.PhysicalCount {
+		return false
+	}
+	for i := 0; i < f.ctx.PhysicalCount; i++ {
+		st, ok := f.states[i]
+		if !ok || !st.complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// storedCountLocked counts runs fetched but not yet folded into an
+// intermediate merge.
+func (f *fetchSet) storedCountLocked() int {
+	n := 0
+	for _, st := range f.states {
+		n += len(st.stored)
+	}
+	return n
+}
+
+// flattenStoredLocked returns every stored run ordered by (input index,
+// spill index) — a canonical order so downstream bytes don't depend on
+// map iteration.
+func (f *fetchSet) flattenStoredLocked() [][]byte {
+	out := make([][]byte, 0, f.storedCountLocked())
+	for i := 0; i < f.ctx.PhysicalCount; i++ {
+		st, ok := f.states[i]
+		if !ok {
+			continue
+		}
+		spills := make([]int, 0, len(st.stored))
+		for s := range st.stored {
+			spills = append(spills, s)
+		}
+		sort.Ints(spills)
+		for _, s := range spills {
+			out = append(out, st.stored[s])
+		}
+	}
+	return out
+}
+
+// storedRun returns the fetched run for (input index, spill) — a test
+// accessor into the stream state.
+func (f *fetchSet) storedRun(idx, spill int) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.states[idx]
+	if !ok {
+		return nil, false
+	}
+	r, ok := st.stored[spill]
+	return r, ok
+}
+
+// wait blocks until every physical input's stream is fetched, an input
+// failed, or the attempt is killed. It returns the fetched runs ordered
+// by (physical input index, spill index) — exactly one run per input for
+// legacy single-shot producers.
 func (f *fetchSet) wait() ([][]byte, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for len(f.runs) < f.ctx.PhysicalCount && f.failure == nil && !f.stopped {
+	for !f.completeLocked() && f.failure == nil && !f.stopped {
 		f.done.Wait()
 	}
 	if f.failure != nil {
 		return nil, f.failure
 	}
-	if f.stopped && len(f.runs) < f.ctx.PhysicalCount {
+	if f.stopped && !f.completeLocked() {
 		return nil, fmt.Errorf("library: input %s: attempt killed while fetching", f.ctx.Name)
 	}
-	out := make([][]byte, f.ctx.PhysicalCount)
-	for i := 0; i < f.ctx.PhysicalCount; i++ {
-		out[i] = f.runs[i]
-	}
-	return out, nil
+	return f.flattenStoredLocked(), nil
 }
 
 // collectMerged is the ordered path's wait(): while stragglers are still
@@ -759,14 +1058,14 @@ func (f *fetchSet) collectMerged(factor int) ([][]byte, error) {
 			f.mu.Unlock()
 			return nil, f.failure
 		}
-		if len(f.runs)+len(f.merged) >= f.ctx.PhysicalCount {
+		if f.completeLocked() {
 			break
 		}
 		if f.stopped {
 			f.mu.Unlock()
 			return nil, fmt.Errorf("library: input %s: attempt killed while fetching", f.ctx.Name)
 		}
-		if factor >= 2 && len(f.runs) >= factor {
+		if factor >= 2 && f.storedCountLocked() >= factor {
 			batch := f.takeMergeBatchLocked(factor)
 			f.mu.Unlock()
 			m, err := f.mergeRuns(batch)
@@ -780,13 +1079,10 @@ func (f *fetchSet) collectMerged(factor int) ([][]byte, error) {
 		}
 		f.done.Wait()
 	}
-	runs := make([][]byte, 0, len(f.premerged)+len(f.runs))
+	stored := f.flattenStoredLocked()
+	runs := make([][]byte, 0, len(f.premerged)+len(stored))
 	runs = append(runs, f.premerged...)
-	for i := 0; i < f.ctx.PhysicalCount; i++ {
-		if r, ok := f.runs[i]; ok {
-			runs = append(runs, r)
-		}
-	}
+	runs = append(runs, stored...)
 	f.mu.Unlock()
 	for factor >= 2 && len(runs) > factor {
 		m, err := f.mergeRuns(runs[:factor])
@@ -798,23 +1094,29 @@ func (f *fetchSet) collectMerged(factor int) ([][]byte, error) {
 	return runs, nil
 }
 
-// takeMergeBatchLocked removes `factor` stored runs (ascending index, for
-// tidy accounting — any choice yields the same final bytes) and marks
-// their indexes merged.
+// takeMergeBatchLocked removes `factor` stored runs (ascending (input,
+// spill), for tidy accounting — any choice yields the same final bytes)
+// and marks them merged.
 func (f *fetchSet) takeMergeBatchLocked(factor int) [][]byte {
-	idxs := make([]int, 0, len(f.runs))
-	for i := range f.runs {
-		idxs = append(idxs, i)
+	keys := make([][2]int, 0, f.storedCountLocked())
+	for i, st := range f.states {
+		for s := range st.stored {
+			keys = append(keys, [2]int{i, s})
+		}
 	}
-	sort.Ints(idxs)
-	idxs = idxs[:factor]
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	keys = keys[:factor]
 	batch := make([][]byte, 0, factor)
-	for _, i := range idxs {
-		batch = append(batch, f.runs[i])
-		f.merged[i] = f.attempt[i]
-		delete(f.runs, i)
-		delete(f.attempt, i)
-		delete(f.srcTask, i)
+	for _, k := range keys {
+		st := f.states[k[0]]
+		batch = append(batch, st.stored[k[1]])
+		st.merged[k[1]] = true
+		delete(st.stored, k[1])
 	}
 	return batch
 }

@@ -1,0 +1,439 @@
+package library
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tez/internal/event"
+	"tez/internal/metrics"
+	"tez/internal/plugin"
+	"tez/internal/runtime"
+	"tez/internal/shuffle"
+)
+
+// producePipelined runs one ordered producer like produceCfg, but with a
+// collecting Emit: pipelined increments are announced through ctx.Emit as
+// they are published, and a discard Emit would lose them. The returned
+// slice has the incremental events first (in publication order) and the
+// Close events (final increment + VMStats) last — mailbox order.
+func producePipelined(t *testing.T, svc runtime.Services, cfg *OrderedPartitionedConfig, task, parts int, write func(w runtime.KVWriter)) []event.Event {
+	t.Helper()
+	var payload []byte
+	if cfg != nil {
+		payload = plugin.MustEncode(*cfg)
+	}
+	out := &OrderedPartitionedKVOutput{}
+	meta := runtime.Meta{DAG: "d", Vertex: "map", Task: task, Attempt: 0}
+	ctx := ctxFor(svc, meta, "red", payload, parts)
+	var emitted []event.Event
+	ctx.Emit = func(ev event.Event) { emitted = append(emitted, ev) }
+	if err := out.Initialize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wAny, err := out.Writer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(wAny.(runtime.KVWriter))
+	closeEvents, err := out.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(emitted, closeEvents...)
+}
+
+// dmSpill builds a pipelined increment announcement: envelope
+// (SrcSpill/SrcMore) and DMInfo payload agree, as the producer emits them.
+func dmSpill(idx, task, attempt, spill int, more bool, id shuffle.OutputID) event.DataMovement {
+	return event.DataMovement{
+		SrcVertex: "map", SrcTask: task, SrcAttempt: attempt,
+		SrcSpill: spill, SrcMore: more,
+		TargetInput: "map", TargetInputIndex: idx,
+		Payload: plugin.MustEncode(DMInfo{ID: id, Spill: spill, Final: !more}),
+	}
+}
+
+// sumJoined parses consumeGrouped's "v1,v2,..." joined values and sums
+// them as integers.
+func sumJoined(t *testing.T, joined string) int {
+	t.Helper()
+	total := 0
+	for _, v := range strings.Split(strings.TrimSuffix(joined, ","), ",") {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad value %q in %q: %v", v, joined, err)
+		}
+		total += n
+	}
+	return total
+}
+
+// TestPipelinedByteIdentical is the pipelined-path acceptance test: the
+// grouped bytes a consumer reads must be a pure function of the record
+// multiset, independent of how many increments carried it. Without a
+// combiner the grouped streams must match exactly; with one, combining
+// per increment instead of once over everything changes the intermediate
+// multiset but must preserve the per-key totals (summing is associative).
+func TestPipelinedByteIdentical(t *testing.T) {
+	const srcTasks, parts, records = 3, 2, 3000
+	for _, combiner := range []string{"", "test.sum"} {
+		t.Run("combiner="+combiner, func(t *testing.T) {
+			run := func(pipelined bool) (map[int]map[string]string, *metrics.Counters) {
+				svc := testServices(t)
+				ctr := metrics.NewCounters()
+				svc.Counters = ctr
+				cfg := &OrderedPartitionedConfig{Combiner: combiner}
+				var all []event.Event
+				for s := 0; s < srcTasks; s++ {
+					if pipelined {
+						pcfg := *cfg
+						pcfg.Pipelined = true
+						pcfg.SortBytes = 2048
+						all = append(all, producePipelined(t, svc, &pcfg, s, parts, writeWordRecords(records))...)
+					} else {
+						evs, _ := produceCfg(t, svc, cfg, s, parts, writeWordRecords(records))
+						all = append(all, evs...)
+					}
+				}
+				got := map[int]map[string]string{}
+				for p := 0; p < parts; p++ {
+					got[p] = consumeGrouped(t, svc, all, p, srcTasks)
+				}
+				return got, ctr
+			}
+			barrier, _ := run(false)
+			pipelined, ctr := run(true)
+			if incs := ctr.Get("SHUFFLE_INCREMENTS"); incs <= srcTasks*parts {
+				t.Fatalf("SHUFFLE_INCREMENTS = %d, want > %d (several increments per source)", incs, srcTasks*parts)
+			}
+			if spills := ctr.Get("SHUFFLE_SPILLS"); spills == 0 {
+				t.Fatal("no pipelined spills published")
+			}
+			for p := 0; p < parts; p++ {
+				if len(barrier[p]) == 0 {
+					t.Fatalf("partition %d: barrier read no groups", p)
+				}
+				if len(pipelined[p]) != len(barrier[p]) {
+					t.Fatalf("partition %d: group count %d vs %d", p, len(pipelined[p]), len(barrier[p]))
+				}
+				for k, v := range barrier[p] {
+					pv, ok := pipelined[p][k]
+					if !ok {
+						t.Fatalf("partition %d: group %q missing under pipelining", p, k)
+					}
+					if combiner == "" {
+						if pv != v {
+							t.Fatalf("partition %d group %q differs: %q vs %q", p, k, pv, v)
+						}
+					} else if sumJoined(t, pv) != sumJoined(t, v) {
+						t.Fatalf("partition %d group %q total differs: %q vs %q", p, k, pv, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedCountersExact: without a combiner every record crosses the
+// wire exactly once regardless of increment count, so the consumer's byte
+// account must equal the barrier run's, and wire must equal raw under the
+// default codec even though it was charged increment by increment.
+func TestPipelinedCountersExact(t *testing.T) {
+	const srcTasks, parts, records = 3, 2, 2000
+	run := func(cfg *OrderedPartitionedConfig) *metrics.Counters {
+		svc := testServices(t)
+		ctr := metrics.NewCounters()
+		svc.Counters = ctr
+		var all []event.Event
+		for s := 0; s < srcTasks; s++ {
+			if cfg.Pipelined {
+				all = append(all, producePipelined(t, svc, cfg, s, parts, writeWordRecords(records))...)
+			} else {
+				evs, _ := produceCfg(t, svc, cfg, s, parts, writeWordRecords(records))
+				all = append(all, evs...)
+			}
+		}
+		for p := 0; p < parts; p++ {
+			consumeGrouped(t, svc, all, p, srcTasks)
+		}
+		return ctr
+	}
+	bar := run(&OrderedPartitionedConfig{})
+	pip := run(&OrderedPartitionedConfig{Pipelined: true, SortBytes: 4096})
+	if got, want := pip.Get("SHUFFLE_BYTES_RAW"), bar.Get("SHUFFLE_BYTES_RAW"); got != want {
+		t.Fatalf("pipelined raw bytes %d != barrier %d", got, want)
+	}
+	if w, r := pip.Get("SHUFFLE_BYTES_WIRE"), pip.Get("SHUFFLE_BYTES_RAW"); w != r {
+		t.Fatalf("codec none: wire %d != raw %d", w, r)
+	}
+	if pi, bi := pip.Get("SHUFFLE_INCREMENTS"), bar.Get("SHUFFLE_INCREMENTS"); pi <= bi {
+		t.Fatalf("pipelined increments %d not above barrier's %d", pi, bi)
+	}
+	if f, i := pip.Get("SHUFFLE_FETCHES"), pip.Get("SHUFFLE_INCREMENTS"); f < i {
+		t.Fatalf("fetches %d < stored increments %d", f, i)
+	}
+}
+
+// TestPipelinedEnvelope pins the publication protocol: per partition the
+// increments are densely numbered from 0 in publication order, exactly
+// the last one clears SrcMore, the DMInfo payload agrees with the
+// envelope, every spill-indexed registration is fetchable, and the final
+// VMStats reports the same per-partition raw totals a barrier run would.
+func TestPipelinedEnvelope(t *testing.T) {
+	const parts, records = 2, 3000
+	svc := testServices(t)
+	events := producePipelined(t, svc, &OrderedPartitionedConfig{Pipelined: true, SortBytes: 2048}, 0, parts, writeWordRecords(records))
+
+	perPart := map[int][]event.DataMovement{}
+	var stats []VMStats
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case event.DataMovement:
+			perPart[e.SrcOutputIndex] = append(perPart[e.SrcOutputIndex], e)
+		case event.VertexManagerEvent:
+			var vs VMStats
+			if err := plugin.Decode(e.Payload, &vs); err != nil {
+				t.Fatal(err)
+			}
+			stats = append(stats, vs)
+		}
+	}
+	if len(perPart) != parts {
+		t.Fatalf("movements for %d partitions, want %d", len(perPart), parts)
+	}
+	total := len(perPart[0])
+	if total < 3 {
+		t.Fatalf("only %d increments; budget did not force a multi-increment stream", total)
+	}
+	for p := 0; p < parts; p++ {
+		dms := perPart[p]
+		if len(dms) != total {
+			t.Fatalf("partition %d has %d increments, partition 0 has %d (streams must stay dense)", p, len(dms), total)
+		}
+		for i, dm := range dms {
+			if dm.SrcSpill != i {
+				t.Fatalf("partition %d increment %d announced SrcSpill %d", p, i, dm.SrcSpill)
+			}
+			if got, want := dm.SrcMore, i < total-1; got != want {
+				t.Fatalf("partition %d increment %d SrcMore = %v", p, i, got)
+			}
+			var info DMInfo
+			if err := plugin.Decode(dm.Payload, &info); err != nil {
+				t.Fatal(err)
+			}
+			if info.Spill != dm.SrcSpill || info.Final != !dm.SrcMore || info.Partition != p {
+				t.Fatalf("payload disagrees with envelope: %+v vs spill %d more %v", info, dm.SrcSpill, dm.SrcMore)
+			}
+			if info.ID.Spill != i {
+				t.Fatalf("registration id not spill-indexed: %+v", info.ID)
+			}
+			if _, err := svc.Shuffle.Fetch(info.ID, p, "n0"); err != nil {
+				t.Fatalf("increment %d of partition %d not fetchable: %v", i, p, err)
+			}
+		}
+	}
+	if len(stats) != 1 {
+		t.Fatalf("%d VMStats events, want 1", len(stats))
+	}
+
+	// Same records through the barrier: the advertised partition totals
+	// must match (combiner-free, so sizes are a function of the records).
+	barrierEvents, _ := produceCfg(t, testServices(t), nil, 0, parts, writeWordRecords(records))
+	for _, ev := range barrierEvents {
+		if e, ok := ev.(event.VertexManagerEvent); ok {
+			var vs VMStats
+			if err := plugin.Decode(e.Payload, &vs); err != nil {
+				t.Fatal(err)
+			}
+			for p := range vs.PartitionSizes {
+				if stats[0].PartitionSizes[p] != vs.PartitionSizes[p] {
+					t.Fatalf("partition %d raw total %d != barrier %d", p, stats[0].PartitionSizes[p], vs.PartitionSizes[p])
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedGroupedReadAllocs: folding an increment-rich stream (16
+// runs, as four pipelined sources of four spills each would leave) into
+// the grouped reader must stay within the one-allocation-per-record
+// budget of the barrier path — pipelining may not reintroduce per-value
+// copies.
+func TestPipelinedGroupedReadAllocs(t *testing.T) {
+	runs := buildGroupedRuns(16, 100, 2)
+	var total int
+	allocs := testing.AllocsPerRun(5, func() {
+		g := newGroupedReader(newMergeReader(runs))
+		n := 0
+		for g.Next() {
+			n += len(g.Values())
+		}
+		if g.Err() != nil {
+			t.Fatal(g.Err())
+		}
+		total = n
+	})
+	if total != 16*100*2 {
+		t.Fatalf("read %d records", total)
+	}
+	if perRecord := allocs / float64(total); perRecord > 1 {
+		t.Fatalf("allocs/record = %.2f (total %.0f), want <= 1", perRecord, allocs)
+	}
+}
+
+// TestPipelinedFetchRetractionStress races increment arrival against
+// InputFailed retraction under -race: 12 sources each publish a 4-spill
+// stream, 5 of them die mid-stream and are replaced by a 2-increment
+// attempt-1 stream, with 30% injected transient fetch errors throughout.
+// The surviving runs must be exactly the expected streams in (input,
+// spill) order.
+func TestPipelinedFetchRetractionStress(t *testing.T) {
+	base := testServices(t)
+	sh := shuffle.New(shuffle.Config{TransientErrorRate: 0.3, Seed: 17})
+	for i := 0; i < 3; i++ {
+		sh.AddNode(fmt.Sprintf("n%d", i), "r0")
+	}
+	svc := base
+	svc.Shuffle = sh
+	svc.Counters = metrics.NewCounters()
+
+	const phys, incs, retracted, replIncs = 12, 4, 5, 2
+	ctx := ctxFor(svc, runtime.Meta{DAG: "d", Vertex: "red"}, "map", nil, phys)
+	fs := newFetchSet(ctx)
+	fs.fetcher.MaxRetries = 100 // absorb the 30% injected transient errors
+	fs.fetcher.Backoff = time.Microsecond
+
+	var want [][]byte
+	for i := 0; i < phys; i++ {
+		for s := 0; s < incs; s++ {
+			id := shuffle.OutputID{DAG: "d", Vertex: "map", Task: i, Attempt: 0, Spill: s}
+			run := registerRun(t, svc, fmt.Sprintf("n%d", i%3), id, fmt.Sprintf("t%d-a0-s%d", i, s))
+			if i >= retracted {
+				want = append(want, run)
+			}
+		}
+	}
+	var wantRetracted [][]byte
+	for i := 0; i < retracted; i++ {
+		for s := 0; s < replIncs; s++ {
+			id := shuffle.OutputID{DAG: "d", Vertex: "map", Task: i, Attempt: 1, Spill: s}
+			wantRetracted = append(wantRetracted, registerRun(t, svc, fmt.Sprintf("n%d", (i+1)%3), id, fmt.Sprintf("t%d-a1-s%d", i, s)))
+		}
+	}
+	// flattenStored order is (input asc, spill asc): replacement streams of
+	// inputs 0..retracted-1 first, then the intact attempt-0 streams.
+	want = append(wantRetracted, want...)
+
+	// One goroutine delivers the whole event stream in mailbox order —
+	// full attempt-0 streams, then for each dying input the retraction
+	// followed by its replacement stream — while the fetcher pool races
+	// against it, so retractions land on queued, in-flight and
+	// already-stored increments alike.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < phys; i++ {
+			for s := 0; s < incs; s++ {
+				id := shuffle.OutputID{DAG: "d", Vertex: "map", Task: i, Attempt: 0, Spill: s}
+				_ = fs.handleEvent(dmSpill(i, i, 0, s, s < incs-1, id))
+			}
+		}
+		for i := 0; i < retracted; i++ {
+			_ = fs.handleEvent(event.InputFailed{TargetInputIndex: i, SrcTask: i, SrcAttempt: 0})
+			for s := 0; s < replIncs; s++ {
+				id := shuffle.OutputID{DAG: "d", Vertex: "map", Task: i, Attempt: 1, Spill: s}
+				_ = fs.handleEvent(dmSpill(i, i, 1, s, s < replIncs-1, id))
+			}
+		}
+	}()
+	fs.start()
+	wg.Wait()
+
+	runs, err := fs.wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(want) {
+		t.Fatalf("got %d runs, want %d", len(runs), len(want))
+	}
+	for i := range runs {
+		if !bytes.Equal(runs[i], want[i]) {
+			t.Fatalf("run %d = %q, want %q", i, runs[i], want[i])
+		}
+	}
+	if svc.Counters.Get("SHUFFLE_FETCH_RETRIES") == 0 {
+		t.Fatal("expected injected transient errors to be retried")
+	}
+	if got := svc.Counters.Get("SHUFFLE_INCREMENTS"); got < int64(len(want)) {
+		t.Fatalf("SHUFFLE_INCREMENTS = %d, want >= %d", got, len(want))
+	}
+	if err := fs.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedNegativeSpillRejected: a corrupt or malicious negative
+// spill index must be refused at the door, not poison the stream state.
+func TestPipelinedNegativeSpillRejected(t *testing.T) {
+	fs := newFetchSet(ctxFor(testServices(t), runtime.Meta{DAG: "d", Vertex: "red"}, "map", nil, 1))
+	dm := dmSpill(0, 0, 0, 0, false, shuffle.OutputID{DAG: "d", Vertex: "map"})
+	dm.SrcSpill = -1
+	if err := fs.handleEvent(dm); err == nil {
+		t.Fatal("negative spill index accepted")
+	}
+	if len(fs.states) != 0 {
+		t.Fatal("rejected movement left stream state behind")
+	}
+}
+
+// dmInfoV2 is DMInfo plus trailing fields a future revision might add —
+// gob ignores unknown fields, so decoding such payloads must keep working.
+type dmInfoV2 struct {
+	ID        shuffle.OutputID
+	Partition int
+	Size      int64
+	RawSize   int64
+	Codec     string
+	Spill     int
+	Final     bool
+	Checksum  uint32
+	Extra     []byte
+}
+
+// FuzzDMInfo shakes the DataMovement payload decoder plus the consumer's
+// envelope validation: arbitrary bytes must never panic, and any decoded
+// spill index must be accepted or rejected exactly by its sign.
+func FuzzDMInfo(f *testing.F) {
+	id := shuffle.OutputID{DAG: "d", Vertex: "map", Name: "red", Task: 3, Attempt: 1, Spill: 2}
+	f.Add(plugin.MustEncode(DMInfo{ID: id, Partition: 1, Size: 10, RawSize: 20, Codec: "flate", Spill: 2, Final: true}))
+	f.Add(plugin.MustEncode(DMInfo{}))
+	f.Add(plugin.MustEncode(dmInfoV2{ID: id, Spill: 1 << 40, Checksum: 0xdeadbeef, Extra: []byte("x")}))
+	f.Add(plugin.MustEncode(dmInfoV2{Spill: -3, Final: true}))
+	f.Add([]byte{})
+	f.Add([]byte{0x42, 0xff, 0x00, 0x07, 0x80})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var info DMInfo
+		if err := plugin.Decode(payload, &info); err != nil {
+			return
+		}
+		fs := newFetchSet(ctxFor(runtime.Services{}, runtime.Meta{DAG: "d", Vertex: "red"}, "map", nil, 1))
+		err := fs.handleEvent(event.DataMovement{
+			SrcVertex: "map", SrcTask: 0, SrcAttempt: 0,
+			SrcSpill: info.Spill, SrcMore: !info.Final,
+			TargetInput: "map", TargetInputIndex: 0,
+			Payload: payload,
+		})
+		if info.Spill < 0 && err == nil {
+			t.Fatalf("negative spill %d accepted", info.Spill)
+		}
+		if info.Spill >= 0 && err != nil {
+			t.Fatalf("valid spill %d rejected: %v", info.Spill, err)
+		}
+	})
+}

@@ -310,8 +310,11 @@ func TestRetractionAfterMergeFails(t *testing.T) {
 	fs := newFetchSet(ctxFor(svc, runtime.Meta{DAG: "d", Vertex: "red"}, "map", nil, 4))
 	fs.mu.Lock()
 	for i := 0; i < 2; i++ {
-		fs.runs[i] = AppendRecord(nil, []byte("k"), []byte("v"))
-		fs.attempt[i] = 0
+		fs.states[i] = &inputState{
+			attempt: 0, srcTask: i, total: 1,
+			stored: map[int][]byte{0: AppendRecord(nil, []byte("k"), []byte("v"))},
+			merged: map[int]bool{},
+		}
 		fs.expect[i] = 0
 	}
 	batch := fs.takeMergeBatchLocked(2)

@@ -174,14 +174,22 @@ func AllocWaitReport(c *Counters) []AllocWait {
 // map-side sort/spill/merge work, combiner effectiveness, and wire-vs-raw
 // transfer volume (they differ only when a block codec is on).
 type ShuffleDataPlane struct {
-	SortTime       time.Duration
-	MergeTime      time.Duration
-	Spills         int64
-	CombineIn      int64
-	CombineOut     int64
-	BytesWire      int64
-	BytesRaw       int64
+	SortTime   time.Duration
+	MergeTime  time.Duration
+	Spills     int64
+	CombineIn  int64
+	CombineOut int64
+	// BytesWire/BytesRaw count what consumers actually folded into their
+	// merges — charged once per stored increment, so retracted, stale and
+	// duplicate transfers never inflate them, and a pipelined source's
+	// several increments all accumulate.
+	BytesWire int64
+	BytesRaw  int64
+	// Fetches counts transfer attempts; Increments counts the stored
+	// results (Fetches > Increments under retries/retractions; with
+	// pipelined shuffle, Increments > source count).
 	Fetches        int64
+	Increments     int64
 	FetchTime      time.Duration
 	CompressionPct float64 // wire bytes as % of raw (100 = incompressible/off)
 }
@@ -198,6 +206,7 @@ func ShuffleReport(c *Counters) ShuffleDataPlane {
 		BytesWire:  snap["SHUFFLE_BYTES_WIRE"],
 		BytesRaw:   snap["SHUFFLE_BYTES_RAW"],
 		Fetches:    snap["SHUFFLE_FETCHES"],
+		Increments: snap["SHUFFLE_INCREMENTS"],
 		FetchTime:  time.Duration(snap["SHUFFLE_FETCH_TIME_NS"]),
 	}
 	if r.BytesRaw > 0 {
@@ -209,9 +218,9 @@ func ShuffleReport(c *Counters) ShuffleDataPlane {
 // String renders the summary as one line per concern.
 func (r ShuffleDataPlane) String() string {
 	return fmt.Sprintf(
-		"shuffle: sort=%v merge=%v spills=%d combine=%d->%d wire=%dB raw=%dB (%.1f%%) fetches=%d fetch=%v",
+		"shuffle: sort=%v merge=%v spills=%d combine=%d->%d wire=%dB raw=%dB (%.1f%%) fetches=%d stored=%d fetch=%v",
 		r.SortTime, r.MergeTime, r.Spills, r.CombineIn, r.CombineOut,
-		r.BytesWire, r.BytesRaw, r.CompressionPct, r.Fetches, r.FetchTime)
+		r.BytesWire, r.BytesRaw, r.CompressionPct, r.Fetches, r.Increments, r.FetchTime)
 }
 
 // NodeHealth is one node's failure-tracking snapshot from the AM's

@@ -67,6 +67,12 @@ type Services struct {
 	// outputs ("none", "flate", ...): empty falls through to
 	// shuffle.Config.Codec and then "none".
 	Codec string
+	// ShufflePipelined turns on pipelined spill publication for this
+	// task's ordered outputs: each sorted spill is registered and
+	// announced as it is produced instead of held for Close. False falls
+	// through to shuffle.Config.Pipelined; per-edge
+	// OrderedPartitionedConfig.Pipelined still takes precedence.
+	ShufflePipelined bool
 	// Timeline, when set, receives data-plane spans (sort spills, run
 	// merges) from this task's shuffle transports; nil records nothing.
 	Timeline *timeline.Journal

@@ -66,6 +66,12 @@ type Config struct {
 	// partitions ("none", "flate", or any codec registered with the
 	// library). Empty means "none": bytes cross the wire raw.
 	Codec string
+	// Pipelined is the cluster-default for pipelined shuffle publication:
+	// ordered outputs register every sorted spill as it is produced
+	// (spill-indexed ids, incremental DataMovement events) instead of
+	// holding everything for Close. Per-edge overrides
+	// (library.OrderedPartitionedConfig.Pipelined) take precedence.
+	Pipelined bool
 	// Chaos, when set, injects transient/permanent fetch faults and slow-
 	// node transfer multipliers (nil means no injection). Unlike
 	// TransientErrorRate's shared RNG, chaos decisions are deterministic
@@ -77,16 +83,23 @@ type Config struct {
 }
 
 // OutputID names one task attempt's registered output. Name distinguishes
-// the several logical outputs a task may have (one per out-edge).
+// the several logical outputs a task may have (one per out-edge); Spill
+// distinguishes the increments of a pipelined output, which registers each
+// sorted spill under its own id as it is produced (0 for the single
+// registration of a non-pipelined output, so legacy ids are unchanged).
 type OutputID struct {
 	DAG     string
 	Vertex  string
 	Name    string
 	Task    int
 	Attempt int
+	Spill   int
 }
 
 func (id OutputID) String() string {
+	if id.Spill > 0 {
+		return fmt.Sprintf("%s/%s/%s/t%03d_a%d_s%d", id.DAG, id.Vertex, id.Name, id.Task, id.Attempt, id.Spill)
+	}
 	return fmt.Sprintf("%s/%s/%s/t%03d_a%d", id.DAG, id.Vertex, id.Name, id.Task, id.Attempt)
 }
 
@@ -144,6 +157,15 @@ func (s *Service) MergeFactor() int { return s.cfg.MergeFactor }
 // Codec returns the cluster-configured default wire block codec name
 // ("" when unset: none).
 func (s *Service) Codec() string { return s.cfg.Codec }
+
+// Pipelined returns the cluster-configured default for pipelined spill
+// publication (false when unset: barrier mode).
+func (s *Service) Pipelined() bool { return s.cfg.Pipelined }
+
+// SpillFault asks the bound chaos plane whether a pipelined producer
+// should die right after publishing the increment named by site. Nil-safe;
+// false without a plane.
+func (s *Service) SpillFault(site string) bool { return s.cfg.Chaos.SpillFault(site) }
 
 // SetAuthority turns on token-based access control (§4.3): every
 // registration and fetch must then present the live token of the DAG the
@@ -350,10 +372,16 @@ func (s *Service) FetchNoWait(id OutputID, partition int, readerNode string, tok
 	}
 	node := o.node
 	s.mu.Unlock()
+	info := fmt.Sprintf("%s p%d -> %s", id.Name, partition, readerNode)
+	if id.Spill > 0 {
+		// Pipelined increments tag the spill index so trace tooling can
+		// count increments per edge; spill 0 keeps the legacy format.
+		info = fmt.Sprintf("%s p%d s%d -> %s", id.Name, partition, id.Spill, readerNode)
+	}
 	s.cfg.Timeline.Record(timeline.Event{
 		Type: timeline.ShuffleFetch, DAG: id.DAG,
 		Vertex: id.Vertex, Task: id.Task, Attempt: id.Attempt, Node: node,
-		Info: fmt.Sprintf("%s p%d -> %s", id.Name, partition, readerNode),
+		Info: info,
 		Dur:  delay, Val: int64(len(data)),
 	})
 	return data, delay, nil

@@ -60,7 +60,7 @@ func (s *Service) RunPartition(jobID string, job PartitionJob) error {
 			}
 			id := shuffle.OutputID{DAG: dagID, Vertex: "map", Name: "reduce", Task: i}
 			_ = atomic.AddInt64(&seq, 1)
-			return s.plat.Shuffle.Register(node(i), id, buckets)
+			return library.RegisterShuffleOutput(s.plat.Shuffle, node(i), id, buckets)
 		})
 	}
 	if err := s.runTasks(mapTasks); err != nil {
